@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and prints the reproduced rows; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them.  Expensive
+experiment drivers are executed exactly once via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvolutionPair, admissible_eta_bound
+
+
+@pytest.fixture(scope="session")
+def exp_pair() -> InvolutionPair:
+    """Canonical symmetric exp-channel pair used by the analytic benchmarks."""
+    return InvolutionPair.exp_channel(tau=1.0, t_p=0.5)
+
+
+@pytest.fixture(scope="session")
+def eta_small(exp_pair):
+    """The eta bound used by the storage-loop benchmarks (eta_plus = 0.05)."""
+    return admissible_eta_bound(exp_pair, eta_plus=0.05)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""Experiment FIG2: the involution channel algorithm on pulse trains.
+
+Reproduces the behaviour illustrated in Fig. 2 of the paper (pulse
+attenuation and cancellation by a single-history channel) and benchmarks
+the throughput of the channel-function evaluation, which underlies every
+other experiment.
+"""
+
+import numpy as np
+
+from repro.core import InvolutionChannel, InvolutionPair, Signal
+from repro.experiments import print_table
+
+
+def _glitch_train(n_pulses: int, width: float, gap: float) -> Signal:
+    return Signal.pulse_train(1.0, [width] * n_pulses, [gap] * (n_pulses - 1))
+
+
+def test_fig2_pulse_attenuation_rows(benchmark, exp_pair):
+    """Fig. 2: output pulse width vs input pulse width (attenuation curve)."""
+    channel = InvolutionChannel(exp_pair)
+    widths = np.linspace(0.5, 4.0, 15)
+
+    def run():
+        rows = []
+        for width in widths:
+            out = channel(Signal.pulse(0.0, float(width)))
+            rows.append(
+                {
+                    "input_width": float(width),
+                    "output_width": (out[1].time - out[0].time) if len(out) == 2 else 0.0,
+                    "cancelled": out.is_zero(),
+                }
+            )
+        return rows
+
+    rows = benchmark(run)
+    print()
+    print_table(rows, title="FIG2: single-pulse attenuation through an involution exp-channel")
+    cancelled = [r for r in rows if r["cancelled"]]
+    surviving = [r for r in rows if not r["cancelled"]]
+    assert cancelled and surviving
+    assert all(r["output_width"] < r["input_width"] for r in surviving)
+
+
+def test_fig2_glitch_train_throughput(benchmark, exp_pair):
+    """Channel-function throughput on a long glitch train (10k transitions)."""
+    channel = InvolutionChannel(exp_pair)
+    train = _glitch_train(5000, width=0.8, gap=0.7)
+
+    out = benchmark(channel, train)
+    survivors = len(out.pulses())
+    print(f"\nFIG2 throughput: {len(train)} input transitions -> {len(out)} output "
+          f"transitions ({survivors} surviving pulses)")
+    assert len(out) <= len(train)

@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+environments without the ``wheel`` package can still do editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,100 @@
+"""repro -- reproduction of "A Faithful Binary Circuit Model with Adversarial Noise".
+
+The package is organised as follows:
+
+* :mod:`repro.core` -- signals, involution delay functions, the
+  eta-involution channel (the paper's contribution) and baseline channels.
+* :mod:`repro.circuits` -- gates, circuit graphs and the event-driven
+  simulator used to execute circuits built from these channels.
+* :mod:`repro.spf` -- the Short-Pulse Filtration problem, the fed-back-OR
+  SPF circuit of Fig. 5 and the analytical results of Section IV
+  (constraint (C), worst-case pulse trains, Theorem 9).
+* :mod:`repro.analog` -- a first-order analog simulator of CMOS inverter
+  chains, substituting for the UMC-90/UMC-65 measurement setups of
+  Section V.
+* :mod:`repro.fitting` -- delay-function characterisation, exp-channel
+  fitting and eta-coverage (deviation) analysis.
+* :mod:`repro.experiments` -- drivers that regenerate the paper's figures
+  (used by ``benchmarks/`` and ``examples/``).
+
+Typical entry point::
+
+    from repro import InvolutionPair, EtaInvolutionChannel, EtaBound, Signal
+
+    pair = InvolutionPair.exp_channel(tau=1.0, t_p=0.5)
+    channel = EtaInvolutionChannel(pair, EtaBound(0.05, 0.05))
+    out = channel(Signal.pulse(start=0.0, length=2.0))
+"""
+
+from .core import (
+    Adversary,
+    BestCaseAdversary,
+    Channel,
+    ConstantDelay,
+    DeCancelAdversary,
+    DegradationDelayChannel,
+    DelayFunction,
+    EtaBound,
+    EtaInvolutionChannel,
+    ExpDelay,
+    InertialDelayChannel,
+    InvolutionChannel,
+    InvolutionError,
+    InvolutionPair,
+    Pulse,
+    PureDelayChannel,
+    RandomAdversary,
+    SequenceAdversary,
+    Signal,
+    SignalError,
+    SineAdversary,
+    TableDelay,
+    Transition,
+    WorstCaseAdversary,
+    ZeroAdversary,
+    ZeroDelayChannel,
+    admissible_eta_bound,
+    constraint_C_margin,
+    exp_channel_pair,
+    max_eta_minus,
+    max_symmetric_eta,
+    satisfies_constraint_C,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Signal",
+    "Transition",
+    "Pulse",
+    "SignalError",
+    "DelayFunction",
+    "ExpDelay",
+    "TableDelay",
+    "ConstantDelay",
+    "InvolutionPair",
+    "InvolutionError",
+    "exp_channel_pair",
+    "Channel",
+    "ZeroDelayChannel",
+    "InvolutionChannel",
+    "EtaInvolutionChannel",
+    "EtaBound",
+    "Adversary",
+    "ZeroAdversary",
+    "WorstCaseAdversary",
+    "BestCaseAdversary",
+    "RandomAdversary",
+    "SineAdversary",
+    "SequenceAdversary",
+    "DeCancelAdversary",
+    "PureDelayChannel",
+    "InertialDelayChannel",
+    "DegradationDelayChannel",
+    "constraint_C_margin",
+    "satisfies_constraint_C",
+    "max_eta_minus",
+    "max_symmetric_eta",
+    "admissible_eta_bound",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Analog substrate: first-order inverter-chain simulation and variations.
+
+This subpackage substitutes for the UMC-90 ASIC measurements and UMC-65
+Spice simulations of the paper's Section V (see DESIGN.md for the
+substitution rationale).
+"""
+
+from .chain import AnalogInverterChain, ChainResult, pulse_stimulus
+from .technology import UMC65, UMC90, Technology
+from .variations import (
+    ConstantSupply,
+    RandomPhaseSineSupply,
+    SineSupplyNoise,
+    SupplyProfile,
+    width_variation,
+)
+from .waveform import Waveform, digitize, threshold_crossings
+
+__all__ = [
+    "Waveform",
+    "digitize",
+    "threshold_crossings",
+    "Technology",
+    "UMC90",
+    "UMC65",
+    "AnalogInverterChain",
+    "ChainResult",
+    "pulse_stimulus",
+    "SupplyProfile",
+    "ConstantSupply",
+    "SineSupplyNoise",
+    "RandomPhaseSineSupply",
+    "width_variation",
+]

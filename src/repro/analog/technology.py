@@ -1,0 +1,152 @@
+"""Technology parameter sets for the analog inverter model.
+
+The paper's measurements use a custom UMC-90 nm ASIC (700/360 nm pMOS/nMOS
+widths, |V_th| = 0.29/0.26 V, nominal V_DD = 1 V) and UMC-65 nm standard
+cells (Spice, nominal V_DD = 1.2 V).  We cannot run that silicon or those
+proprietary models, so :class:`Technology` captures the handful of
+parameters that determine first-order switching behaviour:
+
+* the nominal supply voltage,
+* the transistor threshold voltages (pull-up/pull-down),
+* a per-stage output time constant at nominal conditions (``tau_nominal``),
+* the velocity-saturation exponent ``alpha`` of the alpha-power law, which
+  controls how strongly the drive current -- and hence the delay -- depends
+  on the supply voltage,
+* pull-up/pull-down asymmetry and an intrinsic (wire/parasitic) delay.
+
+The delay of a stage then scales as ``tau(V_DD) = tau_nominal * s(V_DD)``
+with ``s(V) = [V / (V - V_th)^alpha] / [V_nom / (V_nom - V_th)^alpha]``,
+which reproduces the qualitative V_DD ordering of the measured delay
+curves in Fig. 7 (delays exploding as V_DD approaches V_th).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["Technology", "UMC90", "UMC65"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """First-order technology description of a CMOS inverter stage.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    vdd_nominal:
+        Nominal supply voltage [V].
+    vth_n, vth_p:
+        Threshold voltages of the pull-down / pull-up networks [V].
+    tau_nominal:
+        Output RC time constant of a stage at nominal V_DD and unit
+        transistor width [time units: ps throughout this package].
+    alpha:
+        Alpha-power-law exponent (1 = long-channel, ~1.3 for short channel).
+    pull_up_strength:
+        Relative drive strength of the pull-up network (pMOS); values below
+        1 make rising output edges slower than falling ones.
+    intrinsic_delay:
+        Pure (input-to-onset) delay of a stage, independent of V_DD [ps].
+    switching_fraction:
+        Input switching threshold of the stage as a fraction of V_DD.
+    """
+
+    name: str
+    vdd_nominal: float
+    vth_n: float
+    vth_p: float
+    tau_nominal: float
+    alpha: float = 1.3
+    pull_up_strength: float = 0.85
+    intrinsic_delay: float = 2.0
+    switching_fraction: float = 0.5
+
+    def drive_scale(self, vdd, vth: float):
+        """Delay scale factor at supply ``vdd`` relative to nominal.
+
+        Uses the alpha-power law ``I_on ~ (V_DD - V_th)^alpha`` with the
+        delay proportional to ``C * V_DD / I_on``.  Supplies at or below
+        the threshold voltage give effectively infinite delay; a large
+        finite factor is returned to keep the simulator numerically sane.
+        Accepts scalars or NumPy arrays.
+        """
+        vdd_arr = np.asarray(vdd, dtype=float)
+        margin = np.maximum(vdd_arr - vth, 1e-3)
+        nominal_margin = self.vdd_nominal - vth
+        nominal = self.vdd_nominal / (nominal_margin ** self.alpha)
+        scale = (vdd_arr / (margin ** self.alpha)) / nominal
+        if np.isscalar(vdd) or getattr(vdd, "ndim", 0) == 0:
+            return float(scale)
+        return scale
+
+    def tau_pull_down_array(self, vdd: np.ndarray, width_factor: float = 1.0) -> np.ndarray:
+        """Vectorised :meth:`tau_pull_down` for arrays of supply voltages."""
+        return self.tau_nominal * np.asarray(self.drive_scale(vdd, self.vth_n)) / width_factor
+
+    def tau_pull_up_array(self, vdd: np.ndarray, width_factor: float = 1.0) -> np.ndarray:
+        """Vectorised :meth:`tau_pull_up` for arrays of supply voltages."""
+        return (
+            self.tau_nominal
+            * np.asarray(self.drive_scale(vdd, self.vth_p))
+            / (self.pull_up_strength * width_factor)
+        )
+
+    def tau_pull_down(self, vdd: float, width_factor: float = 1.0) -> float:
+        """Output time constant for a falling output edge [ps]."""
+        return self.tau_nominal * self.drive_scale(vdd, self.vth_n) / width_factor
+
+    def tau_pull_up(self, vdd: float, width_factor: float = 1.0) -> float:
+        """Output time constant for a rising output edge [ps]."""
+        return (
+            self.tau_nominal
+            * self.drive_scale(vdd, self.vth_p)
+            / (self.pull_up_strength * width_factor)
+        )
+
+    def switching_threshold(self, vdd: float) -> float:
+        """Input voltage at which the stage flips its drive direction [V]."""
+        return self.switching_fraction * vdd
+
+    def with_width(self, width_factor: float) -> "Technology":
+        """Technology with all transistor widths scaled by ``width_factor``.
+
+        Width scales the ON current (1/width scales the time constants);
+        this is how the +-10 % process-variation experiments of Fig. 8b/8c
+        are modelled.
+        """
+        if width_factor <= 0:
+            raise ValueError("width factor must be positive")
+        return replace(
+            self,
+            name=f"{self.name}(W x {width_factor:g})",
+            tau_nominal=self.tau_nominal / width_factor,
+        )
+
+
+#: UMC-90-like parameters (custom ASIC of the paper: V_DD = 1.0 V nominal).
+UMC90 = Technology(
+    name="UMC90",
+    vdd_nominal=1.0,
+    vth_n=0.26,
+    vth_p=0.29,
+    tau_nominal=12.0,
+    alpha=1.3,
+    pull_up_strength=0.85,
+    intrinsic_delay=3.0,
+)
+
+#: UMC-65-like parameters (standard-cell Spice setup: V_DD = 1.2 V nominal).
+UMC65 = Technology(
+    name="UMC65",
+    vdd_nominal=1.2,
+    vth_n=0.30,
+    vth_p=0.32,
+    tau_nominal=8.0,
+    alpha=1.25,
+    pull_up_strength=0.9,
+    intrinsic_delay=2.0,
+)

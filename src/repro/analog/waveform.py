@@ -1,0 +1,152 @@
+"""Sampled analog waveforms and their digitisation.
+
+The validation experiments of Section V compare the *digital abstraction*
+of analog waveforms (threshold crossings) against the predictions of the
+involution/eta-involution model.  This module provides the
+:class:`Waveform` container used by the analog inverter-chain simulator,
+threshold-crossing extraction with sub-sample (linear) interpolation, and
+conversion to :class:`~repro.core.transitions.Signal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.transitions import Signal, Transition
+
+__all__ = ["Waveform", "threshold_crossings", "digitize"]
+
+
+@dataclass
+class Waveform:
+    """A uniformly or non-uniformly sampled voltage waveform.
+
+    Attributes
+    ----------
+    times:
+        Strictly increasing sample times (1-D array).
+    values:
+        Sampled voltages, same length as ``times``.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.ndim != 1 or self.values.ndim != 1:
+            raise ValueError("waveform arrays must be one-dimensional")
+        if len(self.times) != len(self.values):
+            raise ValueError("times and values must have the same length")
+        if len(self.times) >= 2 and np.any(np.diff(self.times) <= 0):
+            raise ValueError("sample times must be strictly increasing")
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_signal(
+        cls,
+        signal: Signal,
+        times: Sequence[float],
+        *,
+        low: float = 0.0,
+        high: float = 1.0,
+        slew: float = 0.0,
+    ) -> "Waveform":
+        """Render a digital signal as an (optionally finite-slew) waveform.
+
+        With ``slew > 0`` every transition ramps linearly over ``slew``
+        time units, centred on the transition time; this is used to drive
+        the analog inverter chain with realistic (non-ideal) stimuli.
+        """
+        t = np.asarray(times, dtype=float)
+        v = np.full_like(t, low if signal.initial_value == 0 else high)
+        for tr in signal:
+            target = high if tr.value == 1 else low
+            if slew <= 0:
+                v[t >= tr.time] = target
+            else:
+                start, end = tr.time - slew / 2.0, tr.time + slew / 2.0
+                before = np.interp(start, t, v) if len(t) else low
+                ramp_mask = (t >= start) & (t <= end)
+                v[t > end] = target
+                if np.any(ramp_mask):
+                    frac = (t[ramp_mask] - start) / slew
+                    v[ramp_mask] = before + (target - before) * frac
+        return cls(t, v)
+
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated voltage at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+    def crossings(self, threshold: float, *, rising: Optional[bool] = None) -> List[float]:
+        """Times where the waveform crosses ``threshold`` (linear interpolation).
+
+        ``rising=True`` returns only upward crossings, ``False`` only
+        downward crossings, ``None`` (default) both, in time order.
+        """
+        return threshold_crossings(self.times, self.values, threshold, rising=rising)
+
+    def to_signal(self, threshold: float, *, min_separation: float = 0.0) -> Signal:
+        """Digitise the waveform at ``threshold``.
+
+        Consecutive crossings closer than ``min_separation`` (both of them)
+        are dropped, which models the finite bandwidth of the sense
+        amplifiers / oscilloscope of the measurement setup.
+        """
+        return digitize(self, threshold, min_separation=min_separation)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def threshold_crossings(
+    times: np.ndarray,
+    values: np.ndarray,
+    threshold: float,
+    *,
+    rising: Optional[bool] = None,
+) -> List[float]:
+    """Interpolated threshold-crossing times of a sampled waveform."""
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if len(t) < 2:
+        return []
+    above = v >= threshold
+    change = np.nonzero(above[1:] != above[:-1])[0]
+    crossings: List[float] = []
+    for i in change:
+        v0, v1 = v[i], v[i + 1]
+        if v1 == v0:
+            crossing_time = t[i]
+        else:
+            frac = (threshold - v0) / (v1 - v0)
+            crossing_time = t[i] + frac * (t[i + 1] - t[i])
+        is_rising = v1 > v0
+        if rising is None or rising == is_rising:
+            crossings.append(float(crossing_time))
+    return crossings
+
+
+def digitize(waveform: Waveform, threshold: float, *, min_separation: float = 0.0) -> Signal:
+    """Digitise a waveform into a binary signal by threshold crossing."""
+    initial_value = 1 if waveform.values[0] >= threshold else 0
+    crossing_times = waveform.crossings(threshold)
+    if min_separation > 0:
+        filtered: List[float] = []
+        for time in crossing_times:
+            if filtered and time - filtered[-1] < min_separation:
+                filtered.pop()
+            else:
+                filtered.append(time)
+        crossing_times = filtered
+    value = 1 - initial_value
+    transitions = []
+    for time in crossing_times:
+        transitions.append(Transition(time, value))
+        value = 1 - value
+    return Signal(initial_value, transitions, allow_negative_times=True)

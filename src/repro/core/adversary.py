@@ -1,0 +1,278 @@
+"""Adversary strategies for eta-involution channels.
+
+The eta-involution channel (DATE 2018) perturbs every tentative output
+transition by an *adversarial* shift ``eta_n`` taken from the interval
+``[-eta_minus, +eta_plus]``.  The model itself is non-deterministic: an
+execution is valid if *some* admissible sequence of shifts produces it.
+For simulation and analysis we therefore need concrete strategies that
+resolve the non-determinism.  This module provides the strategies used in
+the paper's proofs and experiments:
+
+* :class:`ZeroAdversary` -- always ``eta_n = 0`` (reduces the channel to a
+  deterministic involution channel; used by the bounded-time SPF
+  impossibility argument).
+* :class:`WorstCaseAdversary` -- rising transitions maximally late
+  (``+eta_plus``), falling transitions maximally early (``-eta_minus``).
+  This is the adversary of Lemma 5 that minimises pulse up-times in the
+  storage loop and defines the self-repeating worst-case pulse train.
+* :class:`RandomAdversary` -- i.i.d. random shifts (uniform or truncated
+  Gaussian), modelling bounded random jitter/noise.
+* :class:`SineAdversary` -- deterministic, slowly varying shifts, modelling
+  e.g. supply-voltage ripple (flicker-like perturbations).
+* :class:`SequenceAdversary` -- replay an explicit shift sequence (the
+  "admissible parameter" H of the formal model).
+* :class:`DeCancelAdversary` -- tries to keep pulses alive that the
+  deterministic channel would cancel (Fig. 4, trace out2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EtaBound",
+    "Adversary",
+    "ZeroAdversary",
+    "WorstCaseAdversary",
+    "BestCaseAdversary",
+    "RandomAdversary",
+    "SineAdversary",
+    "SequenceAdversary",
+    "DeCancelAdversary",
+]
+
+
+class EtaBound:
+    """The admissible shift interval ``[-eta_minus, +eta_plus]``.
+
+    Both bounds are non-negative; ``eta_plus`` limits how much later an
+    output transition may occur than the deterministic involution delay
+    predicts, ``eta_minus`` how much earlier.
+    """
+
+    __slots__ = ("eta_plus", "eta_minus")
+
+    def __init__(self, eta_plus: float, eta_minus: float) -> None:
+        if eta_plus < 0 or eta_minus < 0:
+            raise ValueError("eta bounds must be non-negative")
+        self.eta_plus = float(eta_plus)
+        self.eta_minus = float(eta_minus)
+
+    @classmethod
+    def zero(cls) -> "EtaBound":
+        """The degenerate bound with no allowed perturbation."""
+        return cls(0.0, 0.0)
+
+    @classmethod
+    def symmetric(cls, eta: float) -> "EtaBound":
+        """Symmetric bound ``[-eta, +eta]``."""
+        return cls(eta, eta)
+
+    @property
+    def width(self) -> float:
+        """Total width ``eta_plus + eta_minus`` of the interval."""
+        return self.eta_plus + self.eta_minus
+
+    def contains(self, eta: float, tolerance: float = 1e-12) -> bool:
+        """True if ``eta`` lies within the admissible interval."""
+        return -self.eta_minus - tolerance <= eta <= self.eta_plus + tolerance
+
+    def clip(self, eta: float) -> float:
+        """Clamp a proposed shift into the admissible interval."""
+        return min(max(eta, -self.eta_minus), self.eta_plus)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EtaBound):
+            return NotImplemented
+        return self.eta_plus == other.eta_plus and self.eta_minus == other.eta_minus
+
+    def __repr__(self) -> str:
+        return f"EtaBound(+{self.eta_plus:g}, -{self.eta_minus:g})"
+
+
+class Adversary:
+    """Base class of adversary strategies.
+
+    A strategy is queried once per input transition and must return a shift
+    within the channel's :class:`EtaBound`.  The query receives the
+    transition index, its time, polarity and the previous-output-to-input
+    delay ``T``; strategies may ignore any of these.
+    """
+
+    def reset(self) -> None:
+        """Reset internal state before a new channel evaluation."""
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        """Return the shift ``eta_n`` for the ``index``-th input transition."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def sequence(self, n: int, bound: EtaBound, rising_first: bool = True) -> List[float]:
+        """Convenience: materialise the first ``n`` choices for alternating
+        transitions starting with a rising one (times/T are passed as 0)."""
+        self.reset()
+        rising = rising_first
+        out = []
+        for i in range(n):
+            out.append(self.choose(i, 0.0, rising, 0.0, bound))
+            rising = not rising
+        return out
+
+
+class ZeroAdversary(Adversary):
+    """Always chooses ``eta_n = 0`` (deterministic involution behaviour)."""
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "ZeroAdversary()"
+
+
+class WorstCaseAdversary(Adversary):
+    """Rising transitions maximally late, falling maximally early.
+
+    This is the worst case of Lemma 5: it minimises the up-times of the
+    pulse train circulating in the SPF storage loop (and simultaneously
+    maximises its period), defining the bounds ``Delta`` and ``P``.
+    """
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        return bound.eta_plus if rising else -bound.eta_minus
+
+    def __repr__(self) -> str:
+        return "WorstCaseAdversary()"
+
+
+class BestCaseAdversary(Adversary):
+    """Rising transitions maximally early, falling maximally late.
+
+    The mirror image of :class:`WorstCaseAdversary`: it maximises pulse
+    up-times, i.e. helps pulses survive.  Useful as the other extreme when
+    bracketing the reachable set of behaviours.
+    """
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        return -bound.eta_minus if rising else bound.eta_plus
+
+    def __repr__(self) -> str:
+        return "BestCaseAdversary()"
+
+
+class RandomAdversary(Adversary):
+    """I.i.d. random shifts within the admissible interval.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the underlying NumPy generator (None for entropy-seeded).
+    distribution:
+        ``"uniform"`` draws uniformly on ``[-eta_minus, +eta_plus]``;
+        ``"gaussian"`` draws a zero-mean Gaussian with standard deviation
+        ``sigma_fraction * (eta_plus + eta_minus) / 2`` truncated (clipped)
+        to the admissible interval.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        distribution: str = "uniform",
+        sigma_fraction: float = 0.5,
+    ) -> None:
+        if distribution not in ("uniform", "gaussian"):
+            raise ValueError("distribution must be 'uniform' or 'gaussian'")
+        self._seed = seed
+        self.distribution = distribution
+        self.sigma_fraction = float(sigma_fraction)
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        if self.distribution == "uniform":
+            return float(self._rng.uniform(-bound.eta_minus, bound.eta_plus))
+        sigma = self.sigma_fraction * bound.width / 2.0
+        if sigma == 0.0:
+            return 0.0
+        return bound.clip(float(self._rng.normal(0.0, sigma)))
+
+    def __repr__(self) -> str:
+        return f"RandomAdversary(seed={self._seed!r}, distribution={self.distribution!r})"
+
+
+class SineAdversary(Adversary):
+    """Deterministic slowly-varying shifts ``A * sin(2*pi*time/period + phase)``.
+
+    Models low-frequency disturbances such as supply ripple: the shift is a
+    function of the (absolute) transition time, clipped to the admissible
+    interval.  ``amplitude_fraction`` scales the amplitude relative to the
+    one-sided eta bounds so the choice is always admissible.
+    """
+
+    def __init__(self, period: float, phase: float = 0.0, amplitude_fraction: float = 1.0) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not (0.0 <= amplitude_fraction <= 1.0):
+            raise ValueError("amplitude_fraction must be in [0, 1]")
+        self.period = float(period)
+        self.phase = float(phase)
+        self.amplitude_fraction = float(amplitude_fraction)
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        s = math.sin(2.0 * math.pi * time / self.period + self.phase)
+        amplitude = bound.eta_plus if s >= 0 else bound.eta_minus
+        return bound.clip(self.amplitude_fraction * amplitude * s)
+
+    def __repr__(self) -> str:
+        return (
+            f"SineAdversary(period={self.period:g}, phase={self.phase:g}, "
+            f"amplitude_fraction={self.amplitude_fraction:g})"
+        )
+
+
+class SequenceAdversary(Adversary):
+    """Replay an explicit sequence of shifts (the parameter ``H`` of the model).
+
+    Shifts beyond the end of the sequence default to ``fill`` (0 by
+    default).  Each shift is validated against the channel's bound; an
+    inadmissible value raises ``ValueError`` rather than being silently
+    clipped, because the formal model only quantifies over admissible H.
+    """
+
+    def __init__(self, shifts: Iterable[float], fill: float = 0.0, clip: bool = False) -> None:
+        self.shifts = [float(s) for s in shifts]
+        self.fill = float(fill)
+        self.clip_values = bool(clip)
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        eta = self.shifts[index] if index < len(self.shifts) else self.fill
+        if self.clip_values:
+            return bound.clip(eta)
+        if not bound.contains(eta):
+            raise ValueError(
+                f"shift {eta} at index {index} is outside the admissible interval "
+                f"[-{bound.eta_minus}, {bound.eta_plus}]"
+            )
+        return eta
+
+    def __repr__(self) -> str:
+        return f"SequenceAdversary({self.shifts!r}, fill={self.fill:g})"
+
+
+class DeCancelAdversary(Adversary):
+    """Try to keep pulses alive that the deterministic channel would cancel.
+
+    Rising transitions are shifted maximally early and falling transitions
+    maximally late, so the tentative output pulse is as long as possible
+    and FIFO order is preserved whenever admissible shifts can achieve it.
+    This realises the "de-cancelled" second pulse of Fig. 4 (out2).
+    """
+
+    def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
+        return -bound.eta_minus if rising else bound.eta_plus
+
+    def __repr__(self) -> str:
+        return "DeCancelAdversary()"

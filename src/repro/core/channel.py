@@ -1,0 +1,338 @@
+"""Channel abstractions and the output-transition-generation algorithm.
+
+A *channel* maps an input signal to an output signal.  Single-history
+channels (pure, inertial, DDM, involution, eta-involution) all follow the
+same two-phase algorithm described in Section II of the paper:
+
+1. *Tentative phase*: every input transition at time ``t_n`` is assigned a
+   tentative output transition at ``t_n + delta_n``, where ``delta_n``
+   depends on the previous-output-to-input delay
+   ``T_n = t_n - (t_{n-1} + delta_{n-1})`` (using the *tentative* previous
+   output transition, regardless of later cancellation).
+
+2. *Cancellation phase*: tentative output transitions in non-FIFO order
+   (``n < m`` but ``t_n + delta_n >= t_m + delta_m``) cancel.  The paper
+   states the rule as "mark both as cancelled"; operationally (and in the
+   authors' VHDL/ModelSim realisation) this is *transport cancellation*:
+   scheduling a new transition removes all pending transitions at
+   later-or-equal times, and transitions that do not change the output
+   value are suppressed.  Both readings coincide whenever cancellations
+   only involve consecutive pairs -- the only case arising in the paper's
+   analysis -- and transport cancellation additionally guarantees a
+   well-formed (alternating) output signal for arbitrary overlap patterns.
+
+Three cancellation resolvers are provided:
+
+* :func:`transport_resolve` -- the default transport semantics,
+* :func:`cancel_non_fifo_reference` -- the literal O(n^2) pairwise marking,
+* :func:`cancel_non_fifo` -- an O(n) sweep equivalent to the pairwise
+  marking (two-sided records).
+
+Property-based tests check that all three agree on the pairwise-consecutive
+cases used by the theory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .transitions import Signal, Transition
+
+__all__ = [
+    "PendingTransition",
+    "Channel",
+    "ZeroDelayChannel",
+    "cancel_non_fifo",
+    "cancel_non_fifo_reference",
+    "transport_resolve",
+    "pending_to_signal",
+]
+
+
+@dataclass
+class PendingTransition:
+    """A tentative output transition before cancellation.
+
+    Attributes
+    ----------
+    input_time:
+        Time ``t_n`` of the generating input transition.
+    delay:
+        The input-to-output delay ``delta_n`` assigned to it (may be
+        ``-inf`` when the domain guard of the eta-channel fires).
+    value:
+        Output value after the transition (same as the input transition's
+        value for non-inverting channels).
+    T:
+        The previous-output-to-input delay used to compute ``delay``.
+    eta:
+        The adversarial shift included in ``delay`` (0 for deterministic
+        channels).
+    cancelled:
+        Set by the cancellation phase.
+    """
+
+    input_time: float
+    delay: float
+    value: int
+    T: float = math.nan
+    eta: float = 0.0
+    cancelled: bool = False
+
+    @property
+    def output_time(self) -> float:
+        """The tentative output transition time ``t_n + delta_n``."""
+        return self.input_time + self.delay
+
+
+def cancel_non_fifo_reference(times: Sequence[float]) -> List[bool]:
+    """Literal O(n^2) implementation of the cancellation rule.
+
+    ``times[k]`` is the tentative output time of the k-th pending
+    transition.  Returns a list of booleans, True meaning *cancelled*.
+    A transition is cancelled iff it participates in at least one
+    non-FIFO pair (an earlier transition with a later-or-equal output
+    time, or a later transition with an earlier-or-equal output time).
+    """
+    n = len(times)
+    cancelled = [False] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if times[i] >= times[j]:
+                cancelled[i] = True
+                cancelled[j] = True
+    return cancelled
+
+
+def cancel_non_fifo(times: Sequence[float]) -> List[bool]:
+    """O(n) cancellation sweep equivalent to :func:`cancel_non_fifo_reference`.
+
+    A transition survives iff its output time is strictly larger than every
+    earlier output time and strictly smaller than every later output time,
+    i.e. it is a strict two-sided record.  Survivors are automatically in
+    strictly increasing time order and (because an even number of
+    transitions is dropped between consecutive survivors) still alternate
+    in value.
+    """
+    n = len(times)
+    if n == 0:
+        return []
+    prefix_max = [-math.inf] * n
+    running = -math.inf
+    for i, t in enumerate(times):
+        prefix_max[i] = running
+        running = max(running, t)
+    suffix_min = [math.inf] * n
+    running = math.inf
+    for i in range(n - 1, -1, -1):
+        suffix_min[i] = running
+        running = min(running, times[i])
+    return [not (prefix_max[i] < times[i] < suffix_min[i]) for i in range(n)]
+
+
+def transport_resolve(
+    initial_value: int, pending: Sequence[PendingTransition]
+) -> Signal:
+    """Resolve cancellations with transport (VHDL-style) semantics.
+
+    Tentative transitions are processed in generation order; scheduling a
+    new transition at time ``s`` (generated by an input transition at time
+    ``t``) removes all still-queued transitions with time ``>= s`` that have
+    not yet *matured* (their time is ``> t``, i.e. they would still be
+    pending in an online simulation).  After processing, queued transitions
+    that do not change the output value are suppressed, which yields a
+    well-formed alternating signal.  The maturity condition makes this
+    offline resolution agree exactly with the incremental resolution of the
+    event-driven simulator.
+    """
+    queue: List[PendingTransition] = []
+    for p in pending:
+        while (
+            queue
+            and queue[-1].output_time >= p.output_time
+            and queue[-1].output_time > p.input_time
+        ):
+            queue.pop().cancelled = True
+        queue.append(p)
+    value = initial_value
+    transitions: List[Transition] = []
+    for p in queue:
+        if p.value == value or not math.isfinite(p.output_time):
+            p.cancelled = True
+            continue
+        p.cancelled = False
+        transitions.append(Transition(p.output_time, p.value))
+        value = p.value
+    return Signal(initial_value, transitions, allow_negative_times=True)
+
+
+def pending_to_signal(
+    initial_value: int,
+    pending: Sequence[PendingTransition],
+    *,
+    mode: str = "transport",
+    use_reference_cancellation: bool = False,
+) -> Signal:
+    """Apply the cancellation phase and assemble the output signal.
+
+    ``mode`` selects the resolver: ``"transport"`` (default, well-formed for
+    arbitrary overlaps), ``"record"`` (O(n) two-sided-record sweep of the
+    literal pairwise rule) or ``"pairwise"`` (O(n^2) literal reference).
+    ``use_reference_cancellation=True`` is a legacy alias for
+    ``mode="pairwise"``.
+    """
+    if use_reference_cancellation:
+        mode = "pairwise"
+    if mode == "transport":
+        return transport_resolve(initial_value, pending)
+    times = [p.output_time for p in pending]
+    if mode == "pairwise":
+        cancelled = cancel_non_fifo_reference(times)
+    elif mode == "record":
+        cancelled = cancel_non_fifo(times)
+    else:
+        raise ValueError(f"unknown cancellation mode {mode!r}")
+    for p, c in zip(pending, cancelled):
+        p.cancelled = c
+    transitions = [
+        Transition(p.output_time, p.value)
+        for p in pending
+        if not p.cancelled and math.isfinite(p.output_time)
+    ]
+    return Signal(initial_value, transitions, allow_negative_times=True)
+
+
+class Channel:
+    """Base class of all channels.
+
+    Subclasses implement :meth:`tentative_delays`, which assigns the delay
+    ``delta_n`` to every input transition; the shared machinery here takes
+    care of the iteration over the input signal, bookkeeping of the
+    previous tentative output transition, cancellation, and assembly of the
+    output signal.
+
+    Parameters
+    ----------
+    inverting:
+        If True, the channel logically inverts its input (an inverter's
+        combined gate+channel view).  Delay polarity is chosen by the
+        *output* transition polarity, matching the convention of the paper
+        (``delta_up`` produces rising *output* transitions).
+    """
+
+    def __init__(self, *, inverting: bool = False, name: Optional[str] = None) -> None:
+        self.inverting = bool(inverting)
+        self.name = name or type(self).__name__
+
+    # -- interface ------------------------------------------------------ #
+
+    def delay_for(self, T: float, rising_output: bool, index: int, time: float) -> float:
+        """Return the delay ``delta_n`` for one transition.
+
+        ``T`` is the previous-output-to-input delay, ``rising_output``
+        states whether the generated output transition is rising,
+        ``index``/``time`` identify the input transition (used by
+        stateful/adversarial channels).
+        """
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def initial_delay(self) -> float:
+        """The delay ``delta_0`` associated with the initial transition.
+
+        The paper's algorithm sets ``delta_0 = 0`` with ``t_0 = -inf``;
+        subclasses normally keep this.
+        """
+        return 0.0
+
+    def rejection_window(self) -> float:
+        """Width of the inertial pulse-rejection window (0 for no rejection).
+
+        The event-driven simulator removes output pulses narrower than this
+        window (both of their transitions), which is how inertial delay
+        channels implement glitch suppression incrementally.
+        """
+        return 0.0
+
+    def reset(self) -> None:
+        """Reset per-evaluation state (adversaries, RNGs)."""
+
+    # -- evaluation ------------------------------------------------------ #
+
+    def output_initial_value(self, input_initial_value: int) -> int:
+        """Initial value of the output signal."""
+        if self.inverting:
+            return 1 - input_initial_value
+        return input_initial_value
+
+    def pending_transitions(self, signal: Signal) -> List[PendingTransition]:
+        """Run the tentative phase of the algorithm on ``signal``."""
+        self.reset()
+        pending: List[PendingTransition] = []
+        previous_input_time = -math.inf
+        previous_delay = self.initial_delay()
+        for index, transition in enumerate(signal):
+            t_n = transition.time
+            out_value = (1 - transition.value) if self.inverting else transition.value
+            rising_output = out_value == 1
+            if math.isinf(previous_input_time):
+                T = math.inf
+            else:
+                T = t_n - previous_input_time - previous_delay
+            delay = self.delay_for(T, rising_output, index, t_n)
+            pending.append(
+                PendingTransition(
+                    input_time=t_n, delay=delay, value=out_value, T=T
+                )
+            )
+            previous_input_time = t_n
+            previous_delay = delay
+        return pending
+
+    def __call__(self, signal: Signal, **kwargs) -> Signal:
+        """Apply the channel function to an input signal."""
+        return self.apply(signal, **kwargs)
+
+    def apply(
+        self,
+        signal: Signal,
+        *,
+        mode: str = "transport",
+        use_reference_cancellation: bool = False,
+    ) -> Signal:
+        """Apply the channel function to ``signal`` and return the output."""
+        pending = self.pending_transitions(signal)
+        return pending_to_signal(
+            self.output_initial_value(signal.initial_value),
+            pending,
+            mode=mode,
+            use_reference_cancellation=use_reference_cancellation,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ZeroDelayChannel(Channel):
+    """The identity channel (zero delay).
+
+    The paper assumes channels connecting circuit input/output ports to be
+    zero-delay to make circuit composition associative; this class provides
+    that channel.  It is not a single-history channel and performs no
+    cancellation (it cannot create non-FIFO transitions).
+    """
+
+    def delay_for(self, T: float, rising_output: bool, index: int, time: float) -> float:
+        return 0.0
+
+    def apply(
+        self,
+        signal: Signal,
+        *,
+        mode: str = "transport",
+        use_reference_cancellation: bool = False,
+    ) -> Signal:
+        if not self.inverting:
+            return signal
+        return signal.inverted()

@@ -1,0 +1,101 @@
+"""The deterministic involution channel (Függer et al., DATE 2015).
+
+An involution channel is a single-history channel whose delay functions
+``(delta_up, delta_down)`` form an :class:`~repro.core.involution.InvolutionPair`.
+The DATE'15 result is that circuits built from involution channels are
+*faithful* for Short-Pulse Filtration: bounded-time SPF is impossible,
+unbounded SPF is possible, matching physical circuits.
+
+The DATE'18 paper (reproduced here) generalises this channel by adding
+bounded adversarial noise, see :mod:`repro.core.eta_channel`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .channel import Channel
+from .involution import InvolutionPair
+
+__all__ = ["InvolutionChannel"]
+
+
+class InvolutionChannel(Channel):
+    """A single-history channel defined by an involution delay pair.
+
+    Parameters
+    ----------
+    pair:
+        The involution delay pair ``(delta_up, delta_down)``.
+    inverting:
+        If True the channel logically inverts (inverter gate + channel in
+        one).  The delay polarity is always chosen by the *output*
+        transition: rising output transitions use ``delta_up``.
+    guard_domain:
+        If True (default), the previous-output-to-input delay ``T`` is
+        clamped to the (open) domain of the delay function, yielding a
+        ``-inf`` delay for out-of-domain arguments exactly as the
+        ``max``-term guard in the paper does.  Such transitions are in
+        non-FIFO order with their predecessor and therefore cancel.
+    """
+
+    def __init__(
+        self,
+        pair: InvolutionPair,
+        *,
+        inverting: bool = False,
+        guard_domain: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(inverting=inverting, name=name)
+        self.pair = pair
+        self.guard_domain = bool(guard_domain)
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def exp_channel(
+        cls,
+        tau: float,
+        t_p: float,
+        v_th: float = 0.5,
+        *,
+        inverting: bool = False,
+        name: Optional[str] = None,
+    ) -> "InvolutionChannel":
+        """Construct an exp-channel (first-order RC with threshold)."""
+        return cls(InvolutionPair.exp_channel(tau, t_p, v_th), inverting=inverting, name=name)
+
+    @property
+    def delta_min(self) -> float:
+        """Minimum delay ``delta_min`` of the channel (Lemma 1)."""
+        return self.pair.delta_min
+
+    @property
+    def delta_up_inf(self) -> float:
+        """Limit of the up-delay for large ``T``."""
+        return self.pair.delta_up_inf
+
+    @property
+    def delta_down_inf(self) -> float:
+        """Limit of the down-delay for large ``T``."""
+        return self.pair.delta_down_inf
+
+    # ------------------------------------------------------------------ #
+
+    def delay_for(self, T: float, rising_output: bool, index: int, time: float) -> float:
+        delta = self.pair.delta_up if rising_output else self.pair.delta_down
+        if math.isinf(T) and T > 0:
+            return delta.delta_inf()
+        if self.guard_domain:
+            low = delta.domain_low()
+            if T <= low:
+                return -math.inf
+        return delta(T)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvolutionChannel({self.pair!r}, inverting={self.inverting}, "
+            f"name={self.name!r})"
+        )

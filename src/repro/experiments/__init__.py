@@ -1,0 +1,46 @@
+"""Experiment drivers regenerating the paper's figures and analytical tables.
+
+Each module corresponds to one experiment id of DESIGN.md; the drivers are
+shared by ``benchmarks/`` (which time them and print the reproduced rows)
+and ``examples/`` (which demonstrate the public API on the same scenarios).
+"""
+
+from .comparison import ModelComparisonResult, default_model_factories, run_model_comparison
+from .fig7 import DEFAULT_VDD_LEVELS, Fig7Curve, Fig7Result, run_fig7
+from .fig8 import DEFAULT_SCENARIOS, Fig8Result, Fig8Scenario, run_fig8
+from .fig9 import Fig9Result, run_fig9
+from .reporting import format_table, format_value, print_table
+from .scaling import ScalingSample, run_scaling
+from .theorem9 import (
+    RegimeObservation,
+    Theorem9Result,
+    default_adversaries,
+    run_lemma5_sweep,
+    run_theorem9,
+)
+
+__all__ = [
+    "run_fig7",
+    "Fig7Result",
+    "Fig7Curve",
+    "DEFAULT_VDD_LEVELS",
+    "run_fig8",
+    "Fig8Result",
+    "Fig8Scenario",
+    "DEFAULT_SCENARIOS",
+    "run_fig9",
+    "Fig9Result",
+    "run_theorem9",
+    "run_lemma5_sweep",
+    "Theorem9Result",
+    "RegimeObservation",
+    "default_adversaries",
+    "run_model_comparison",
+    "ModelComparisonResult",
+    "default_model_factories",
+    "run_scaling",
+    "ScalingSample",
+    "format_table",
+    "format_value",
+    "print_table",
+]

@@ -1,0 +1,130 @@
+"""Experiment FIG7: delay-function characterisation across supply voltages.
+
+Fig. 7 of the paper shows the measured ``delta_down(T)`` of the UMC-90
+inverter chain for supply voltages between 0.3 V and 1.0 V (plus one
+simulated curve at 0.6 V).  The qualitative features to reproduce with the
+analog substrate are:
+
+* every curve is increasing and concave, saturating for large ``T``,
+* delays grow monotonically as V_DD decreases,
+* the growth explodes as V_DD approaches the transistor threshold voltage
+  (the 0.3 V curve is an order of magnitude above the 1.0 V curve),
+* for small/negative ``T`` the delay drops steeply (pulse attenuation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analog.chain import AnalogInverterChain
+from ..analog.technology import Technology, UMC90
+from ..analog.variations import ConstantSupply
+from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
+
+__all__ = ["Fig7Curve", "Fig7Result", "run_fig7", "DEFAULT_VDD_LEVELS"]
+
+#: Supply voltages of the paper's Fig. 7 [V].
+DEFAULT_VDD_LEVELS = (0.6, 0.7, 0.8, 1.0)
+
+
+@dataclass
+class Fig7Curve:
+    """One characterised ``delta(T)`` curve at a fixed supply voltage."""
+
+    vdd: float
+    T: np.ndarray
+    delta: np.ndarray
+    measurement: DelayMeasurement
+
+    @property
+    def delta_at_saturation(self) -> float:
+        """Delay at the largest measured ``T`` (approximates ``delta_inf``)."""
+        return float(self.delta[-1]) if len(self.delta) else float("nan")
+
+    @property
+    def delta_at_smallest_T(self) -> float:
+        """Delay at the smallest measured ``T`` (pulse-attenuation regime)."""
+        return float(self.delta[0]) if len(self.delta) else float("nan")
+
+
+@dataclass
+class Fig7Result:
+    """All curves of the experiment plus convenience accessors."""
+
+    curves: Dict[float, Fig7Curve]
+    polarity: str
+
+    def saturation_delays(self) -> Dict[float, float]:
+        """``delta`` at large ``T`` per supply voltage (should decrease with V_DD)."""
+        return {vdd: curve.delta_at_saturation for vdd, curve in self.curves.items()}
+
+    def is_monotone_in_vdd(self) -> bool:
+        """True if higher supply voltages give uniformly smaller saturation delays."""
+        vdds = sorted(self.curves)
+        delays = [self.curves[v].delta_at_saturation for v in vdds]
+        return all(later <= earlier for earlier, later in zip(delays, delays[1:]))
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Flat table (one row per curve) for reporting."""
+        rows = []
+        for vdd in sorted(self.curves):
+            curve = self.curves[vdd]
+            rows.append(
+                {
+                    "vdd": vdd,
+                    "n_samples": float(len(curve.T)),
+                    "T_min": float(curve.T[0]) if len(curve.T) else float("nan"),
+                    "T_max": float(curve.T[-1]) if len(curve.T) else float("nan"),
+                    "delta_min_measured": float(np.min(curve.delta)) if len(curve.delta) else float("nan"),
+                    "delta_saturation": curve.delta_at_saturation,
+                }
+            )
+        return rows
+
+
+def run_fig7(
+    technology: Technology = UMC90,
+    vdd_levels: Sequence[float] = DEFAULT_VDD_LEVELS,
+    *,
+    stages: int = 3,
+    stage_index: int = 1,
+    n_widths: int = 24,
+    rising_output: bool = False,
+) -> Fig7Result:
+    """Characterise ``delta(T)`` of one inverter stage for several supplies.
+
+    ``rising_output=False`` reproduces the paper's ``delta_down`` curves.
+    The pulse-width sweep is scaled with the per-stage delay at each supply
+    voltage so every curve covers a comparable ``T`` range.
+    """
+    curves: Dict[float, Fig7Curve] = {}
+    for vdd in vdd_levels:
+        chain = AnalogInverterChain(technology, stages=stages)
+        # Scale stimulus widths with the slower stage delay at this supply.
+        tau_ref = max(
+            technology.tau_pull_up(vdd),
+            technology.tau_pull_down(vdd),
+        )
+        unit = technology.intrinsic_delay + tau_ref
+        widths = np.concatenate(
+            [
+                np.linspace(0.2 * unit, 2.0 * unit, n_widths // 2),
+                np.linspace(2.2 * unit, 10.0 * unit, n_widths - n_widths // 2),
+            ]
+        )
+        driver = CharacterizationDriver(
+            chain,
+            stage_index=stage_index,
+            supply=ConstantSupply(vdd),
+            settle=12.0 * unit,
+            tail=30.0 * unit,
+        )
+        measurement = driver.measure(widths, label=f"VDD={vdd:g}V")
+        T, delta = measurement.polarity(rising_output)
+        curves[float(vdd)] = Fig7Curve(
+            vdd=float(vdd), T=T, delta=delta, measurement=measurement
+        )
+    return Fig7Result(curves=curves, polarity="delta_up" if rising_output else "delta_down")

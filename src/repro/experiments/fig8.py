@@ -1,0 +1,140 @@
+"""Experiment FIG8: eta-band coverage of deviations under variations.
+
+Fig. 8 of the paper plots the deviation ``D`` between the crossings
+predicted by a reference (nominal) involution delay function and the actual
+crossings of the circuit under three kinds of variation:
+
+* (a) 1 % sine ripple on the supply voltage with random phase per pulse,
+* (b) transistor widths increased by 10 %,
+* (c) transistor widths decreased by 10 %,
+
+together with the admissible eta band (``eta_plus`` chosen, ``eta_minus``
+maximal under constraint (C)).  The qualitative findings to reproduce:
+
+* small variations (a, b) are fully covered by the band, at least for
+  small ``T``,
+* the 10 % narrower transistors (c) exceed the band as ``T`` grows,
+* the absolute deviation grows with ``T`` in all cases, so coverage is
+  best exactly in the small-``T`` region relevant for faithfulness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analog.chain import AnalogInverterChain
+from ..analog.technology import Technology, UMC90
+from ..analog.variations import RandomPhaseSineSupply, width_variation
+from ..core.involution import InvolutionPair
+from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
+from ..fitting.eta_coverage import DeviationAnalysis, compute_deviations, eta_band
+
+__all__ = ["Fig8Scenario", "Fig8Result", "run_fig8", "DEFAULT_SCENARIOS"]
+
+#: The three variation scenarios of Fig. 8.
+DEFAULT_SCENARIOS = ("supply_1pct", "width_plus10", "width_minus10")
+
+
+@dataclass
+class Fig8Scenario:
+    """One deviation analysis (one subplot of Fig. 8)."""
+
+    name: str
+    analysis: DeviationAnalysis
+    summary: Dict[str, float]
+
+
+@dataclass
+class Fig8Result:
+    """All scenarios plus the reference pair and band used."""
+
+    scenarios: Dict[str, Fig8Scenario]
+    reference: InvolutionPair
+    eta_plus: float
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat table (one row per scenario) for reporting."""
+        rows = []
+        for name in sorted(self.scenarios):
+            entry = dict(self.scenarios[name].summary)
+            entry["scenario"] = name
+            rows.append(entry)
+        return rows
+
+
+def _default_widths(technology: Technology, n_widths: int) -> np.ndarray:
+    """Pulse-width sweep biased towards narrow pulses.
+
+    Narrow pulses probe the small-``T`` (pulse-attenuation) region of the
+    delay function, which dominates both the ``delta_min`` estimate of the
+    reference pair and the faithfulness-relevant part of the eta band, so
+    well over half of the sweep is spent there.
+    """
+    unit = technology.intrinsic_delay + max(
+        technology.tau_pull_up(technology.vdd_nominal),
+        technology.tau_pull_down(technology.vdd_nominal),
+    )
+    narrow = np.linspace(0.3 * unit, 1.6 * unit, (2 * n_widths) // 3)
+    wide = np.linspace(1.8 * unit, 8.0 * unit, n_widths - len(narrow))
+    return np.concatenate([narrow, wide])
+
+
+def run_fig8(
+    technology: Technology = UMC90,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    *,
+    stages: int = 3,
+    stage_index: int = 1,
+    n_widths: int = 20,
+    eta_plus: Optional[float] = None,
+    supply_amplitude: float = 0.01,
+    seed: int = 2018,
+) -> Fig8Result:
+    """Run the Fig. 8 deviation/coverage experiment.
+
+    The reference delay pair is characterised under nominal conditions;
+    each scenario re-characterises the same stage under its variation and
+    compares against the reference.  ``eta_plus`` defaults to 20 % of the
+    reference ``delta_min`` (a "suitable value" in the paper's words);
+    ``eta_minus`` is then maximal under constraint (C).
+    """
+    widths = _default_widths(technology, n_widths)
+    nominal_chain = AnalogInverterChain(technology, stages=stages)
+    nominal_driver = CharacterizationDriver(nominal_chain, stage_index=stage_index)
+    reference_measurement = nominal_driver.measure(widths, label="nominal")
+    reference = reference_measurement.to_involution_pair()
+    if eta_plus is None:
+        eta_plus = 0.2 * reference.delta_min
+    band = eta_band(reference, eta_plus)
+
+    sine_period = 2.0 * (
+        technology.intrinsic_delay
+        + technology.tau_pull_up(technology.vdd_nominal)
+        + technology.tau_pull_down(technology.vdd_nominal)
+    )
+
+    results: Dict[str, Fig8Scenario] = {}
+    for name in scenarios:
+        if name == "supply_1pct":
+            chain = AnalogInverterChain(technology, stages=stages)
+            supply = RandomPhaseSineSupply(
+                technology.vdd_nominal, supply_amplitude, sine_period, seed=seed
+            )
+            driver = CharacterizationDriver(chain, stage_index=stage_index, supply=supply)
+        elif name == "width_plus10":
+            chain = AnalogInverterChain(width_variation(technology, +10.0), stages=stages)
+            driver = CharacterizationDriver(chain, stage_index=stage_index)
+        elif name == "width_minus10":
+            chain = AnalogInverterChain(width_variation(technology, -10.0), stages=stages)
+            driver = CharacterizationDriver(chain, stage_index=stage_index)
+        else:
+            raise ValueError(f"unknown scenario {name!r}")
+        measurement = driver.measure(widths, label=name)
+        analysis = compute_deviations(measurement, reference, eta=band, label=name)
+        results[name] = Fig8Scenario(
+            name=name, analysis=analysis, summary=analysis.summary()
+        )
+    return Fig8Result(scenarios=results, reference=reference, eta_plus=float(eta_plus))

@@ -1,0 +1,80 @@
+"""Experiment FIG9: fitting an exp-channel to measured delay data.
+
+Fig. 9 of the paper evaluates question (c) of Section V: can the behaviour
+of the real inverter be matched with a (suitably parametrised) simple
+exp-channel instead of the full measured delay function?  The answer is
+"only near T = 0": the fitted exp-channel mispredicts mildly for small
+``T`` (the region relevant for faithfulness) but its deviation grows with
+``T`` and exceeds the admissible eta band there.
+
+This driver characterises the stage, fits the exp-channel, and evaluates
+the deviation of the fitted model against the measured samples together
+with the eta band of the *fitted* pair (as in the paper, where the band is
+derived from the delay function used for prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analog.chain import AnalogInverterChain
+from ..analog.technology import Technology, UMC90
+from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
+from ..fitting.eta_coverage import DeviationAnalysis, compute_deviations, eta_band
+from ..fitting.exp_fit import ExpFitResult, fit_exp_channel
+from .fig8 import _default_widths
+
+__all__ = ["Fig9Result", "run_fig9"]
+
+
+@dataclass
+class Fig9Result:
+    """Outcome of the exp-channel fitting experiment."""
+
+    fit: ExpFitResult
+    measurement: DelayMeasurement
+    analysis: DeviationAnalysis
+    summary: Dict[str, float]
+
+    def rows(self):
+        """Single-row table for reporting."""
+        row = {
+            "tau": self.fit.tau,
+            "t_p": self.fit.t_p,
+            "v_th": self.fit.v_th,
+            "rms_residual": self.fit.rms_residual,
+            "max_residual": self.fit.max_residual,
+        }
+        row.update(self.summary)
+        return [row]
+
+
+def run_fig9(
+    technology: Technology = UMC90,
+    *,
+    stages: int = 3,
+    stage_index: int = 1,
+    n_widths: int = 24,
+    eta_plus: Optional[float] = None,
+    fit_threshold: bool = True,
+) -> Fig9Result:
+    """Characterise a stage, fit an exp-channel and analyse its deviations."""
+    widths = _default_widths(technology, n_widths)
+    chain = AnalogInverterChain(technology, stages=stages)
+    driver = CharacterizationDriver(chain, stage_index=stage_index)
+    measurement = driver.measure(widths, label="nominal")
+    fit = fit_exp_channel(measurement, fit_threshold=fit_threshold)
+    fitted_pair = fit.pair()
+    if eta_plus is None:
+        eta_plus = 0.2 * fitted_pair.delta_min
+    band = eta_band(fitted_pair, eta_plus)
+    analysis = compute_deviations(measurement, fitted_pair, eta=band, label="exp fit")
+    return Fig9Result(
+        fit=fit,
+        measurement=measurement,
+        analysis=analysis,
+        summary=analysis.summary(),
+    )

@@ -1,0 +1,72 @@
+"""Plain-text reporting helpers shared by benchmarks and examples.
+
+The benchmark harness prints, for every reproduced table/figure, the same
+kind of rows the paper reports; these helpers format lists of dictionaries
+as aligned text tables without pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_value", "print_table"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Render one cell: floats compactly, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(format_value(v, precision) for v in value) + "]"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> str:
+    """Format a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(col, ""), precision) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns=columns, precision=precision, title=title))

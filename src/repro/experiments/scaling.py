@@ -1,0 +1,92 @@
+"""Experiment SIM: event-driven simulator throughput.
+
+The paper argues that involution channels "can easily be used with existing
+tools" for dynamic timing analysis; the practical counterpart in this
+reproduction is the throughput of the event-driven simulator.  This driver
+measures events per second over circuit size and stimulus length, which the
+benchmark harness reports alongside the figure reproductions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.library import inverter_chain
+from ..circuits.simulator import Simulator
+from ..core.adversary import RandomAdversary
+from ..core.constraint import admissible_eta_bound
+from ..core.eta_channel import EtaInvolutionChannel
+from ..core.involution import InvolutionPair
+from ..core.transitions import Signal
+
+__all__ = ["ScalingSample", "run_scaling"]
+
+
+@dataclass
+class ScalingSample:
+    """Throughput measurement for one circuit size."""
+
+    stages: int
+    input_transitions: int
+    events: int
+    seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        """Processed simulation events per wall-clock second."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.events / self.seconds
+
+
+def run_scaling(
+    stage_counts: Sequence[int] = (4, 8, 16, 32),
+    *,
+    input_transitions: int = 200,
+    tau: float = 1.0,
+    t_p: float = 0.5,
+    eta_plus: float = 0.05,
+    seed: int = 3,
+    use_eta: bool = True,
+) -> List[ScalingSample]:
+    """Measure simulator throughput for chains of increasing depth."""
+    pair = InvolutionPair.exp_channel(tau, t_p)
+    eta = admissible_eta_bound(pair, eta_plus)
+
+    def factory():
+        if use_eta:
+            return EtaInvolutionChannel(
+                InvolutionPair.exp_channel(tau, t_p), eta, RandomAdversary(seed=seed)
+            )
+        from ..core.involution_channel import InvolutionChannel
+
+        return InvolutionChannel(InvolutionPair.exp_channel(tau, t_p))
+
+    rng = np.random.default_rng(seed)
+    # A random but well-separated transition sequence (no transition closer
+    # than the channel's delta_min, so little cancellation distorts the count).
+    gaps = rng.uniform(2.0 * t_p, 6.0 * t_p, size=input_transitions)
+    times = np.cumsum(gaps) + 1.0
+    stimulus = Signal.from_times([float(t) for t in times])
+    end_time = float(times[-1]) + 20.0 * (t_p + tau) * max(stage_counts)
+
+    samples: List[ScalingSample] = []
+    for stages in stage_counts:
+        circuit = inverter_chain(int(stages), factory)
+        simulator = Simulator(circuit, max_events=10_000_000)
+        start = time.perf_counter()
+        execution = simulator.run({"in": stimulus}, end_time)
+        elapsed = time.perf_counter() - start
+        samples.append(
+            ScalingSample(
+                stages=int(stages),
+                input_transitions=input_transitions,
+                events=execution.event_count,
+                seconds=elapsed,
+            )
+        )
+    return samples

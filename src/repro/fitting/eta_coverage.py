@@ -1,0 +1,157 @@
+"""Deviation analysis and eta-band coverage (the methodology of Fig. 8/9).
+
+To validate the eta-involution model the paper compares, per transition,
+
+* the *predicted* threshold-crossing time obtained from a reference delay
+  function ``delta_ref(T)`` (characterised under nominal conditions, or a
+  fitted exp-channel), against
+* the *actual* crossing time measured on the real (here:
+  analog-simulated) circuit under some variation (supply ripple, process
+  variation, ...).
+
+The difference ``D`` plotted over the previous-output-to-input delay ``T``
+is the modeling error of the deterministic involution model; whenever
+``D`` falls inside the admissible band ``[-eta_minus, +eta_plus]`` the
+eta-involution model can reproduce the real trace exactly.  The band
+itself is fixed by faithfulness: given ``eta_plus``, the paper sets
+``eta_minus = delta_down(-eta_plus) - delta_min - eta_plus`` (constraint
+(C) with equality, i.e. the largest admissible value).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.adversary import EtaBound
+from ..core.constraint import max_eta_minus
+from ..core.involution import InvolutionPair
+from .characterize import DelayMeasurement, DelaySample
+
+__all__ = ["DeviationSample", "DeviationAnalysis", "compute_deviations", "eta_band"]
+
+
+@dataclass(frozen=True)
+class DeviationSample:
+    """Deviation of one measured transition from the reference prediction."""
+
+    T: float
+    deviation: float
+    rising_output: bool
+    measured_delta: float
+    predicted_delta: float
+
+
+@dataclass
+class DeviationAnalysis:
+    """Deviation samples plus the admissible eta band and coverage statistics."""
+
+    samples: List[DeviationSample]
+    eta: EtaBound
+    label: str = ""
+
+    # ------------------------------------------------------------------ #
+
+    def polarity(self, rising_output: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """``(T, D)`` arrays for one output polarity, sorted by ``T``."""
+        selected = [s for s in self.samples if s.rising_output == rising_output]
+        selected.sort(key=lambda s: s.T)
+        return (
+            np.array([s.T for s in selected], dtype=float),
+            np.array([s.deviation for s in selected], dtype=float),
+        )
+
+    def covered(self, sample: DeviationSample) -> bool:
+        """True if the deviation can be absorbed by an admissible eta shift."""
+        return -self.eta.eta_minus <= sample.deviation <= self.eta.eta_plus
+
+    def coverage(self, *, T_max: Optional[float] = None) -> float:
+        """Fraction of samples (optionally restricted to ``T <= T_max``) covered."""
+        relevant = [
+            s for s in self.samples if T_max is None or s.T <= T_max
+        ]
+        if not relevant:
+            return float("nan")
+        return sum(self.covered(s) for s in relevant) / len(relevant)
+
+    def max_abs_deviation(self, *, T_max: Optional[float] = None) -> float:
+        """Largest absolute deviation (optionally restricted to ``T <= T_max``)."""
+        relevant = [
+            abs(s.deviation) for s in self.samples if T_max is None or s.T <= T_max
+        ]
+        return max(relevant) if relevant else float("nan")
+
+    def summary(self, *, small_T: Optional[float] = None) -> Dict[str, float]:
+        """Key numbers reported by the benchmark harness."""
+        T_values = [s.T for s in self.samples]
+        if small_T is None and T_values:
+            small_T = float(np.percentile(T_values, 25.0))
+        return {
+            "n_samples": float(len(self.samples)),
+            "eta_plus": self.eta.eta_plus,
+            "eta_minus": self.eta.eta_minus,
+            "coverage_all": self.coverage(),
+            "coverage_small_T": self.coverage(T_max=small_T),
+            "max_abs_deviation": self.max_abs_deviation(),
+            "max_abs_deviation_small_T": self.max_abs_deviation(T_max=small_T),
+            "small_T_threshold": float(small_T) if small_T is not None else float("nan"),
+        }
+
+
+def eta_band(
+    reference: InvolutionPair,
+    eta_plus: float,
+    *,
+    back_off: float = 0.0,
+) -> EtaBound:
+    """The paper's eta-band dimensioning: largest ``eta_minus`` for ``eta_plus``.
+
+    Section V sets ``eta_minus = delta_down(-eta_plus) - delta_min -
+    eta_plus`` (the supremum allowed by constraint (C)); ``back_off``
+    shrinks it relatively to make the constraint strict.
+    """
+    supremum = max_eta_minus(reference, eta_plus)
+    return EtaBound(eta_plus, supremum * (1.0 - back_off))
+
+
+def compute_deviations(
+    measurement: DelayMeasurement,
+    reference: InvolutionPair,
+    eta: Optional[EtaBound] = None,
+    *,
+    eta_plus: Optional[float] = None,
+    label: str = "",
+) -> DeviationAnalysis:
+    """Compare a measurement against a reference delay pair.
+
+    For every measured sample ``(T, delta)`` the deviation is
+    ``D = delta - delta_ref(T)`` with ``delta_ref`` the reference delay
+    function of the sample's polarity.  The admissible band is either given
+    explicitly (``eta``) or derived from ``eta_plus`` via :func:`eta_band`.
+    """
+    if eta is None:
+        if eta_plus is None:
+            raise ValueError("either eta or eta_plus must be given")
+        eta = eta_band(reference, eta_plus)
+    deviations: List[DeviationSample] = []
+    for sample in measurement.samples:
+        delta_ref_fn = reference.delta_up if sample.rising_output else reference.delta_down
+        predicted = delta_ref_fn(sample.T)
+        if not math.isfinite(predicted):
+            # The reference model predicts cancellation for this T; such
+            # samples lie outside the model's domain and are skipped (they
+            # cannot be compensated by any finite eta shift).
+            continue
+        deviations.append(
+            DeviationSample(
+                T=sample.T,
+                deviation=sample.delta - predicted,
+                rising_output=sample.rising_output,
+                measured_delta=sample.delta,
+                predicted_delta=predicted,
+            )
+        )
+    return DeviationAnalysis(samples=deviations, eta=eta, label=label)

@@ -1,0 +1,5 @@
+"""Trace import/export (VCD)."""
+
+from .vcd import execution_to_vcd, signals_to_vcd, write_vcd
+
+__all__ = ["signals_to_vcd", "execution_to_vcd", "write_vcd"]

@@ -1,0 +1,117 @@
+"""Value-change-dump (VCD) export of signals and executions.
+
+The involution/eta-involution channels are meant as drop-in replacements
+for the delay models of HDL simulators; exporting executions as VCD makes
+the traces of this reproduction inspectable with the usual waveform viewers
+(GTKWave etc.) and diffable against HDL simulation output.
+
+Only the small subset of VCD needed for binary signals is implemented:
+``$timescale``, ``$var wire 1`` declarations, ``$dumpvars`` and scalar
+value changes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, TextIO
+
+from ..core.transitions import Signal
+
+__all__ = ["write_vcd", "signals_to_vcd", "execution_to_vcd"]
+
+_IDENTIFIER_ALPHABET = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the ``index``-th variable."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    digits = []
+    base = len(_IDENTIFIER_ALPHABET)
+    while True:
+        digits.append(_IDENTIFIER_ALPHABET[index % base])
+        index //= base
+        if index == 0:
+            break
+        index -= 1
+    return "".join(reversed(digits))
+
+
+def signals_to_vcd(
+    signals: Mapping[str, Signal],
+    *,
+    timescale: str = "1ps",
+    time_scale_factor: float = 1.0,
+    comment: Optional[str] = None,
+) -> str:
+    """Render a dictionary of named signals as VCD text.
+
+    ``time_scale_factor`` multiplies the (float) transition times before
+    rounding them to integer VCD ticks; choose it so the relevant time
+    differences are resolved (e.g. 1000 for ps-resolution signals whose
+    unit is ns).
+    """
+    lines: List[str] = []
+    if comment:
+        lines.append(f"$comment {comment} $end")
+    lines.append(f"$timescale {timescale} $end")
+    lines.append("$scope module repro $end")
+    identifiers: Dict[str, str] = {}
+    for index, name in enumerate(signals):
+        ident = _identifier(index)
+        identifiers[name] = ident
+        sanitized = name.replace(" ", "_")
+        lines.append(f"$var wire 1 {ident} {sanitized} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+    lines.append("$dumpvars")
+    for name, signal in signals.items():
+        lines.append(f"{signal.initial_value}{identifiers[name]}")
+    lines.append("$end")
+
+    events: List[tuple] = []
+    for name, signal in signals.items():
+        for transition in signal:
+            if not math.isfinite(transition.time):
+                continue
+            tick = int(round(transition.time * time_scale_factor))
+            events.append((tick, identifiers[name], transition.value))
+    events.sort(key=lambda e: e[0])
+    current_tick: Optional[int] = None
+    for tick, ident, value in events:
+        if tick != current_tick:
+            lines.append(f"#{tick}")
+            current_tick = tick
+        lines.append(f"{value}{ident}")
+    return "\n".join(lines) + "\n"
+
+
+def execution_to_vcd(
+    execution,
+    *,
+    include_edges: bool = False,
+    timescale: str = "1ps",
+    time_scale_factor: float = 1.0,
+) -> str:
+    """Render a simulator :class:`~repro.circuits.simulator.Execution` as VCD."""
+    signals: Dict[str, Signal] = dict(execution.node_signals)
+    if include_edges:
+        for name, signal in execution.edge_signals.items():
+            signals[f"edge.{name}"] = signal
+    return signals_to_vcd(
+        signals, timescale=timescale, time_scale_factor=time_scale_factor
+    )
+
+
+def write_vcd(
+    path_or_file,
+    signals: Mapping[str, Signal],
+    **kwargs,
+) -> None:
+    """Write :func:`signals_to_vcd` output to a path or file object."""
+    text = signals_to_vcd(signals, **kwargs)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            handle.write(text)

@@ -1,0 +1,33 @@
+"""Short-Pulse Filtration: problem definition, SPF circuit and analysis."""
+
+from .analysis import SPFAnalysis, SPFRegime, WorstCaseTrain
+from .bounded import (
+    StabilizationSample,
+    analytical_stabilization_sweep,
+    critical_pulse_width,
+    find_empirical_threshold,
+    simulated_stabilization_sweep,
+)
+from .problem import SPFChecker, SPFObservation, SPFReport
+from .spf_circuit import (
+    HighThresholdBufferDesign,
+    build_spf_circuit,
+    design_high_threshold_buffer,
+)
+
+__all__ = [
+    "SPFAnalysis",
+    "SPFRegime",
+    "WorstCaseTrain",
+    "SPFChecker",
+    "SPFObservation",
+    "SPFReport",
+    "HighThresholdBufferDesign",
+    "design_high_threshold_buffer",
+    "build_spf_circuit",
+    "StabilizationSample",
+    "analytical_stabilization_sweep",
+    "simulated_stabilization_sweep",
+    "critical_pulse_width",
+    "find_empirical_threshold",
+]

@@ -1,0 +1,173 @@
+"""Bounded-time SPF impossibility: unbounded stabilisation near the threshold.
+
+The paper's impossibility direction ("no circuit with eta-involution
+channels solves bounded-time SPF") follows analytically from the
+deterministic involution result because the adversary may always choose
+``eta_n = 0``.  This module provides the *demonstrator* that makes the
+phenomenon concrete and measurable: for the SPF storage loop, the
+stabilisation time diverges (logarithmically) as the input pulse length
+approaches the critical threshold ``Delta_0_tilde`` from above, so no
+finite stabilisation bound can hold for all input pulses.
+
+Two views are provided:
+
+* :func:`analytical_stabilization_sweep` -- the bound of Lemma 7/8,
+  ``pulses ~ log_a(1 / (Delta_0 - Delta_0_tilde))``,
+* :func:`simulated_stabilization_sweep` -- the same sweep measured on the
+  event-driven simulation of the fed-back OR under a chosen adversary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.library import fed_back_or
+from ..circuits.simulator import Simulator
+from ..core.adversary import Adversary, EtaBound, ZeroAdversary
+from ..core.eta_channel import EtaInvolutionChannel
+from ..core.involution import InvolutionPair
+from ..core.transitions import Signal
+from .analysis import SPFAnalysis
+
+__all__ = [
+    "StabilizationSample",
+    "analytical_stabilization_sweep",
+    "simulated_stabilization_sweep",
+    "critical_pulse_width",
+]
+
+
+@dataclass
+class StabilizationSample:
+    """One point of a stabilisation-time sweep."""
+
+    delta_0: float
+    gap: float  # delta_0 - threshold
+    pulses: float
+    stabilization_time: float
+    final_value: Optional[int] = None
+
+
+def critical_pulse_width(
+    pair: InvolutionPair,
+    eta: EtaBound = EtaBound.zero(),
+) -> float:
+    """The critical input pulse width ``Delta_0_tilde`` of Lemma 8."""
+    return SPFAnalysis(pair, eta).delta_tilde_0
+
+
+def analytical_stabilization_sweep(
+    pair: InvolutionPair,
+    eta: EtaBound,
+    gaps: Sequence[float],
+) -> List[StabilizationSample]:
+    """Stabilisation bound of Lemma 7/8 for ``Delta_0 = Delta_0_tilde + gap``.
+
+    The number of pulses grows like ``log_a(1/gap)`` with
+    ``a = 1 + delta_up'(0)``, demonstrating that no bounded stabilisation
+    time exists (bounded-time SPF impossibility).
+    """
+    analysis = SPFAnalysis(pair, eta)
+    threshold = analysis.delta_tilde_0
+    samples = []
+    for gap in gaps:
+        if gap <= 0:
+            raise ValueError("gaps must be positive")
+        delta_0 = threshold + gap
+        samples.append(
+            StabilizationSample(
+                delta_0=delta_0,
+                gap=gap,
+                pulses=analysis.stabilization_pulses(delta_0),
+                stabilization_time=analysis.stabilization_time_bound(delta_0),
+            )
+        )
+    return samples
+
+
+def simulated_stabilization_sweep(
+    pair: InvolutionPair,
+    eta: EtaBound,
+    gaps: Sequence[float],
+    adversary_factory=ZeroAdversary,
+    *,
+    end_time: float = 500.0,
+    max_events: int = 2_000_000,
+    threshold: Optional[float] = None,
+) -> List[StabilizationSample]:
+    """Measured stabilisation times of the fed-back OR near the threshold.
+
+    ``threshold`` defaults to the analytical ``Delta_0_tilde`` of the
+    worst-case adversary; for other adversaries the actual critical width
+    differs, so callers may supply the empirically bracketed value (e.g.
+    from :func:`find_empirical_threshold`).
+    """
+    if threshold is None:
+        threshold = SPFAnalysis(pair, eta).delta_tilde_0
+    samples = []
+    for gap in gaps:
+        delta_0 = threshold + gap
+        channel = EtaInvolutionChannel(pair, eta, adversary_factory())
+        circuit = fed_back_or(channel)
+        execution = Simulator(circuit, max_events=max_events).run(
+            {"i": Signal.pulse(0.0, delta_0)}, end_time
+        )
+        out = execution.output_signals["or_out"]
+        samples.append(
+            StabilizationSample(
+                delta_0=delta_0,
+                gap=gap,
+                pulses=len(out.pulses()),
+                stabilization_time=out.stabilization_time(),
+                final_value=out.final_value,
+            )
+        )
+    return samples
+
+
+def find_empirical_threshold(
+    pair: InvolutionPair,
+    eta: EtaBound,
+    adversary_factory=ZeroAdversary,
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    end_time: float = 500.0,
+    iterations: int = 40,
+    max_events: int = 2_000_000,
+) -> float:
+    """Bisect the input pulse width at which the storage loop starts to latch.
+
+    For the given adversary, pulses shorter than the returned width resolve
+    to 0 and longer ones to 1 (up to the bisection resolution).  Under the
+    worst-case adversary this converges to ``Delta_0_tilde``; under the
+    zero adversary to the deterministic critical width of the DATE'15
+    model, which is strictly smaller.
+    """
+    analysis = SPFAnalysis(pair, eta)
+    if lo is None:
+        lo = max(analysis.cancel_threshold, 1e-9)
+    if hi is None:
+        hi = analysis.latch_threshold
+
+    def final_value(delta_0: float) -> int:
+        channel = EtaInvolutionChannel(pair, eta, adversary_factory())
+        circuit = fed_back_or(channel)
+        execution = Simulator(circuit, max_events=max_events).run(
+            {"i": Signal.pulse(0.0, delta_0)}, end_time
+        )
+        return execution.output_signals["or_out"].final_value
+
+    if final_value(lo) != 0 or final_value(hi) != 1:
+        raise ValueError("bisection bracket does not separate the two outcomes")
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if final_value(mid) == 1:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)

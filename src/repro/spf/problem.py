@@ -1,0 +1,225 @@
+"""The Short-Pulse Filtration (SPF) problem and empirical checkers.
+
+Definition 2 of the paper: a circuit with one input and one output port
+solves SPF if, for all admissible channel parameters (adversarial
+choices),
+
+F1  it has exactly one input and one output port (well-formedness),
+F2  the zero input signal produces the zero output signal (no generation),
+F3  some input pulse produces a non-zero output signal (nontriviality),
+F4  there is an ``epsilon > 0`` such that no input pulse ever produces an
+    output pulse shorter than ``epsilon`` (no short pulses).
+
+Bounded-time SPF additionally requires the output to stabilise within a
+bounded time after the input pulse; Theorem 9/12 of the paper (and the
+DATE'15 predecessor) show that bounded-time SPF is unsolvable while
+unbounded SPF is solvable with (eta-)involution channels.
+
+The checkers in this module are *empirical*: they simulate the circuit for
+a family of input pulses and adversaries and evaluate F1-F4 on the observed
+executions.  They cannot prove universally quantified statements, but they
+detect violations and they quantify the observed epsilon of F4, which the
+tests compare against the analytical bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.simulator import Simulator
+from ..core.adversary import Adversary, ZeroAdversary
+from ..core.eta_channel import EtaInvolutionChannel
+from ..core.transitions import Signal
+
+__all__ = ["SPFObservation", "SPFReport", "SPFChecker"]
+
+
+@dataclass
+class SPFObservation:
+    """Result of simulating the circuit for one input pulse and one adversary."""
+
+    pulse_length: float
+    adversary_name: str
+    output: Signal
+    stabilization_time: float
+    shortest_output_pulse: Optional[float]
+    final_value: int
+
+    @property
+    def is_zero_output(self) -> bool:
+        """True if the output is the constant-0 signal."""
+        return self.output.is_zero()
+
+
+@dataclass
+class SPFReport:
+    """Aggregated result of an SPF check over pulse sweeps and adversaries."""
+
+    well_formed: bool
+    no_generation: bool
+    nontrivial: bool
+    observed_epsilon: float
+    max_stabilization_time: float
+    observations: List[SPFObservation] = field(default_factory=list)
+    epsilon_threshold: float = 0.0
+
+    @property
+    def no_short_pulses(self) -> bool:
+        """True if no output pulse shorter than ``epsilon_threshold`` was seen."""
+        return self.observed_epsilon > self.epsilon_threshold
+
+    @property
+    def solves_spf(self) -> bool:
+        """True if all four conditions held on the observed executions."""
+        return (
+            self.well_formed
+            and self.no_generation
+            and self.nontrivial
+            and self.no_short_pulses
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used in benchmark output and EXPERIMENTS.md."""
+        return {
+            "F1_well_formed": self.well_formed,
+            "F2_no_generation": self.no_generation,
+            "F3_nontrivial": self.nontrivial,
+            "F4_no_short_pulses": self.no_short_pulses,
+            "observed_epsilon": self.observed_epsilon,
+            "max_stabilization_time": self.max_stabilization_time,
+            "observations": len(self.observations),
+            "solves_spf": self.solves_spf,
+        }
+
+
+class SPFChecker:
+    """Empirical SPF checker for a circuit with one input and one output port.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit under test.  If it has several output ports,
+        ``output_port`` selects the SPF output (the remaining ports are
+        treated as debug taps and ignored, preserving F1 in spirit).
+    input_port / output_port:
+        Port names; default to the unique input and the port named ``"o"``
+        or the unique output.
+    adversary_factories:
+        Mapping of adversary names to factories; each factory is applied to
+        every eta-involution channel of the circuit before a run.
+    end_time:
+        Simulation horizon per run.
+    epsilon_threshold:
+        F4 is reported as satisfied if every observed output pulse is
+        strictly longer than this threshold.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        input_port: Optional[str] = None,
+        output_port: Optional[str] = None,
+        adversary_factories: Optional[Dict[str, Callable[[], Adversary]]] = None,
+        end_time: float = 200.0,
+        epsilon_threshold: float = 0.0,
+        max_events: int = 2_000_000,
+    ) -> None:
+        self.circuit = circuit
+        inputs = circuit.input_ports()
+        outputs = circuit.output_ports()
+        if input_port is None:
+            if len(inputs) != 1:
+                raise ValueError("circuit must have exactly one input port")
+            input_port = inputs[0].name
+        if output_port is None:
+            names = [p.name for p in outputs]
+            output_port = "o" if "o" in names else names[0]
+        self.input_port = input_port
+        self.output_port = output_port
+        self.adversary_factories = adversary_factories or {"zero": ZeroAdversary}
+        self.end_time = float(end_time)
+        self.epsilon_threshold = float(epsilon_threshold)
+        self.max_events = int(max_events)
+
+    # ------------------------------------------------------------------ #
+
+    def is_well_formed(self) -> bool:
+        """F1: exactly one input port and one (primary) output port."""
+        try:
+            self.circuit.validate()
+        except Exception:
+            return False
+        return len(self.circuit.input_ports()) == 1 and len(self.circuit.output_ports()) >= 1
+
+    def _set_adversary(self, factory: Callable[[], Adversary]) -> None:
+        for edge in self.circuit.edges.values():
+            channel = edge.channel
+            if isinstance(channel, EtaInvolutionChannel):
+                channel.adversary = factory()
+
+    def run_single(
+        self, input_signal: Signal, adversary_name: str, factory: Callable[[], Adversary]
+    ) -> Signal:
+        """Simulate the circuit for one input signal under one adversary."""
+        self._set_adversary(factory)
+        simulator = Simulator(self.circuit, max_events=self.max_events)
+        execution = simulator.run({self.input_port: input_signal}, self.end_time)
+        return execution.output_signals[self.output_port]
+
+    def check_no_generation(self) -> bool:
+        """F2: the zero input signal produces the zero output signal."""
+        for name, factory in self.adversary_factories.items():
+            output = self.run_single(Signal.zero(), name, factory)
+            if not output.is_zero():
+                return False
+        return True
+
+    def observe(self, pulse_lengths: Sequence[float]) -> List[SPFObservation]:
+        """Simulate every (pulse length, adversary) combination."""
+        observations: List[SPFObservation] = []
+        for name, factory in self.adversary_factories.items():
+            for length in pulse_lengths:
+                output = self.run_single(Signal.pulse(0.0, float(length)), name, factory)
+                observations.append(
+                    SPFObservation(
+                        pulse_length=float(length),
+                        adversary_name=name,
+                        output=output,
+                        stabilization_time=output.stabilization_time(),
+                        shortest_output_pulse=output.shortest_pulse_length(),
+                        final_value=output.final_value,
+                    )
+                )
+        return observations
+
+    def check(self, pulse_lengths: Sequence[float]) -> SPFReport:
+        """Run the full empirical SPF check."""
+        well_formed = self.is_well_formed()
+        no_generation = self.check_no_generation()
+        observations = self.observe(pulse_lengths)
+        nontrivial = any(not obs.is_zero_output for obs in observations)
+        shortest = [
+            obs.shortest_output_pulse
+            for obs in observations
+            if obs.shortest_output_pulse is not None
+        ]
+        observed_epsilon = min(shortest) if shortest else math.inf
+        stab_times = [
+            obs.stabilization_time
+            for obs in observations
+            if math.isfinite(obs.stabilization_time)
+        ]
+        max_stab = max(stab_times) if stab_times else 0.0
+        return SPFReport(
+            well_formed=well_formed,
+            no_generation=no_generation,
+            nontrivial=nontrivial,
+            observed_epsilon=observed_epsilon,
+            max_stabilization_time=max_stab,
+            observations=observations,
+            epsilon_threshold=self.epsilon_threshold,
+        )

@@ -1,0 +1,166 @@
+"""The unbounded SPF circuit of Fig. 5 and its dimensioning.
+
+The circuit consists of
+
+* an OR gate with initial value 0 whose output is fed back to its second
+  input through an eta-involution channel ``c`` (the *storage loop*), and
+* a *high-threshold buffer* ``HT`` -- an exp-channel with a threshold above
+  the worst-case duty cycle ``gamma`` of the storage loop -- driving the
+  output port.
+
+Theorem 12 of the paper shows that, provided the feedback channel's noise
+bound satisfies constraint (C) and the buffer is dimensioned according to
+Lemmas 10/11, this circuit solves (unbounded) Short-Pulse Filtration.
+
+:func:`design_high_threshold_buffer` performs the dimensioning: it picks a
+threshold ``V_th`` strictly between ``gamma`` and 1 and an RC constant
+large enough that pulse trains with duty cycle at most ``Gamma = gamma *
+(1 + margin)`` and pulse length at most ``Theta`` are filtered.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import OR2
+from ..core.adversary import Adversary, EtaBound, ZeroAdversary
+from ..core.eta_channel import EtaInvolutionChannel
+from ..core.involution import InvolutionPair
+from ..core.involution_channel import InvolutionChannel
+from .analysis import SPFAnalysis
+
+__all__ = ["HighThresholdBufferDesign", "design_high_threshold_buffer", "build_spf_circuit"]
+
+
+@dataclass
+class HighThresholdBufferDesign:
+    """Dimensioning result for the high-threshold buffer.
+
+    Attributes
+    ----------
+    v_th:
+        Normalised switching threshold of the buffer's exp-channel.
+    tau:
+        RC constant of the buffer's exp-channel.
+    t_p:
+        Pure-delay component of the buffer's exp-channel.
+    theta:
+        Longest single pulse the buffer is dimensioned to swallow
+        (``Theta`` of Lemma 10/11).
+    gamma_capacity:
+        Largest duty cycle the buffer is dimensioned to swallow
+        (``Gamma`` of Lemma 10/11).
+    """
+
+    v_th: float
+    tau: float
+    t_p: float
+    theta: float
+    gamma_capacity: float
+
+    def channel(self, *, name: str = "HT") -> InvolutionChannel:
+        """Instantiate the buffer as a deterministic exp involution channel."""
+        return InvolutionChannel.exp_channel(
+            self.tau, self.t_p, self.v_th, name=name
+        )
+
+
+def design_high_threshold_buffer(
+    analysis: SPFAnalysis,
+    *,
+    margin: float = 0.05,
+    theta: Optional[float] = None,
+    t_p: Optional[float] = None,
+) -> HighThresholdBufferDesign:
+    """Dimension the high-threshold buffer for a given storage-loop analysis.
+
+    The buffer must map every pulse train with duty cycle at most
+    ``Gamma = gamma * (1 + margin) < 1`` and pulse length at most ``Theta``
+    to the zero signal (Lemma 11).  For an exp-channel this is achieved by
+
+    * a threshold ``v_th`` halfway between ``Gamma`` and 1 (so
+      ``Gamma < v_th < 1``), and
+    * an RC constant ``tau`` large enough that (i) a single high phase of
+      length ``Theta`` starting from the worst-case ripple level ``Gamma``
+      does not reach ``v_th`` and (ii) the periodic steady-state ripple of
+      a ``Gamma``-duty square wave of period ``P`` stays below ``v_th``.
+
+    ``Theta`` defaults to a small multiple of the loop's stabilisation
+    bound for pulses that reach duty cycle ``Gamma``, which is the role it
+    plays in the proof of Theorem 12 ("so large that the feed-back loop has
+    already locked to constant 1 at time T + Theta").
+    """
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    gamma = analysis.duty_cycle_bound
+    gamma_capacity = min(gamma * (1.0 + margin), 0.5 * (1.0 + gamma))
+    if gamma_capacity >= 1.0:
+        raise ValueError("duty-cycle capacity must stay below 1")
+    v_th = 0.5 * (gamma_capacity + 1.0)
+
+    if theta is None:
+        # The loop locks within a bounded number of pulses once a pulse of
+        # duty cycle >= Gamma occurs; a generous multiple of the per-pulse
+        # time bound covers it.
+        per_pulse = analysis.delta_up_inf + analysis.eta_plus + analysis.delta_down_inf
+        theta = 16.0 * per_pulse
+    if t_p is None:
+        t_p = analysis.delta_min
+
+    # (i) single-pulse condition: starting from level Gamma, a high phase of
+    # length Theta must not reach v_th:
+    #     Gamma + (1 - Gamma) * (1 - exp(-Theta / tau)) < v_th
+    # <=> tau > Theta / ln((1 - Gamma) / (1 - v_th)).
+    tau_single = theta / math.log((1.0 - gamma_capacity) / (1.0 - v_th))
+    # (ii) ripple condition: make tau much larger than the loop period so the
+    # steady-state ripple of a Gamma-duty square wave stays near Gamma.
+    tau_ripple = 16.0 * analysis.period
+    tau = max(tau_single, tau_ripple)
+    return HighThresholdBufferDesign(
+        v_th=v_th, tau=tau, t_p=t_p, theta=theta, gamma_capacity=gamma_capacity
+    )
+
+
+def build_spf_circuit(
+    pair: InvolutionPair,
+    eta: EtaBound,
+    adversary: Optional[Adversary] = None,
+    *,
+    buffer_design: Optional[HighThresholdBufferDesign] = None,
+    buffer_margin: float = 0.05,
+    name: str = "spf",
+) -> Circuit:
+    """Build the SPF circuit of Fig. 5.
+
+    Parameters
+    ----------
+    pair:
+        Involution delay pair of the feedback channel ``c``.
+    eta:
+        Noise bound of the feedback channel (must satisfy constraint (C)).
+    adversary:
+        Adversary resolving the feedback channel's non-determinism
+        (defaults to the zero adversary).
+    buffer_design:
+        Pre-computed buffer dimensioning; computed from the loop analysis
+        if omitted.
+    """
+    analysis = SPFAnalysis(pair, eta)
+    if buffer_design is None:
+        buffer_design = design_high_threshold_buffer(analysis, margin=buffer_margin)
+    loop_channel = EtaInvolutionChannel(
+        pair, eta, adversary if adversary is not None else ZeroAdversary(), name="c"
+    )
+    circuit = Circuit(name)
+    circuit.add_input("i", initial_value=0)
+    circuit.add_gate("or", OR2, initial_value=0)
+    circuit.add_output("o")
+    circuit.add_output("or_out")
+    circuit.connect("i", "or", None, pin=0)
+    circuit.connect("or", "or", loop_channel, pin=1, name="feedback")
+    circuit.connect("or", "o", buffer_design.channel(), name="ht_buffer")
+    circuit.connect("or", "or_out")
+    return circuit

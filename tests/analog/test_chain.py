@@ -1,0 +1,127 @@
+"""Unit tests for the analog inverter-chain simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    AnalogInverterChain,
+    ConstantSupply,
+    SineSupplyNoise,
+    UMC90,
+    pulse_stimulus,
+)
+
+
+@pytest.fixture(scope="module")
+def chain() -> AnalogInverterChain:
+    return AnalogInverterChain(UMC90, stages=3)
+
+
+def run_pulse(chain, width, vdd=None, supply=None):
+    vdd = vdd if vdd is not None else chain.technology.vdd_nominal
+    grid = chain.recommended_time_grid(400.0 + width, supply_voltage=vdd)
+    stimulus = pulse_stimulus(grid, 100.0, width, high=vdd, slew=2.0)
+    return chain.simulate(grid, stimulus, supply if supply is not None else vdd)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AnalogInverterChain(UMC90, stages=0)
+        with pytest.raises(ValueError):
+            AnalogInverterChain(UMC90, stages=2, width_factor=0.0)
+        with pytest.raises(ValueError):
+            AnalogInverterChain(UMC90, stages=2, load_factors=[1.0])
+        with pytest.raises(ValueError):
+            AnalogInverterChain(UMC90, stages=2, load_factors=[1.0, -1.0])
+
+    def test_recommended_grid_is_uniform(self, chain):
+        grid = chain.recommended_time_grid(100.0)
+        steps = np.diff(grid)
+        assert np.allclose(steps, steps[0])
+
+    def test_nominal_stage_delay_positive(self, chain):
+        assert chain.nominal_stage_delay() > 0
+
+
+class TestSimulation:
+    def test_input_validation(self, chain):
+        grid = chain.recommended_time_grid(50.0)
+        with pytest.raises(ValueError):
+            chain.simulate(grid, np.zeros(len(grid) - 1))
+        with pytest.raises(ValueError):
+            chain.simulate(np.array([0.0]), np.array([0.0]))
+
+    def test_wide_pulse_propagates_through_all_stages(self, chain):
+        result = run_pulse(chain, 100.0)
+        threshold = 0.5 * UMC90.vdd_nominal
+        for index in range(chain.stages):
+            signal = result.stage(index).to_signal(threshold)
+            assert len(signal) == 2, f"stage {index} lost the pulse"
+
+    def test_stage_polarity_alternates(self, chain):
+        result = run_pulse(chain, 100.0)
+        threshold = 0.5 * UMC90.vdd_nominal
+        values = [result.stage(i).to_signal(threshold).initial_value for i in range(3)]
+        assert values == [1, 0, 1]
+
+    def test_narrow_pulse_attenuates(self, chain):
+        result = run_pulse(chain, 10.0)
+        threshold = 0.5 * UMC90.vdd_nominal
+        first = result.stage(0).to_signal(threshold)
+        last = result.stage(2).to_signal(threshold)
+        if len(first) == 2:
+            input_width = 10.0
+            first_width = first[1].time - first[0].time
+            assert first_width < input_width
+        assert len(last.pulses(1)) + len(last.pulses(0)) <= len(first.pulses(1)) + len(
+            first.pulses(0)
+        )
+
+    def test_delay_increases_at_low_vdd(self, chain):
+        threshold_hi = 0.5 * 1.0
+        threshold_lo = 0.5 * 0.5
+        fast = run_pulse(chain, 150.0, vdd=1.0)
+        slow = run_pulse(AnalogInverterChain(UMC90, stages=3), 600.0, vdd=0.5)
+        fast_out = fast.stage(0).to_signal(threshold_hi)
+        slow_out = slow.stage(0).to_signal(threshold_lo)
+        fast_in = fast.input_waveform.to_signal(threshold_hi)
+        slow_in = slow.input_waveform.to_signal(threshold_lo)
+        fast_delay = fast_out[0].time - fast_in[0].time
+        slow_delay = slow_out[0].time - slow_in[0].time
+        assert slow_delay > fast_delay
+
+    def test_wider_transistors_are_faster(self):
+        nominal = AnalogInverterChain(UMC90, stages=1)
+        wide = AnalogInverterChain(UMC90, stages=1, width_factor=1.2)
+        threshold = 0.5 * UMC90.vdd_nominal
+        res_nominal = run_pulse(nominal, 100.0)
+        res_wide = run_pulse(wide, 100.0)
+        d_nominal = res_nominal.stage(0).to_signal(threshold)[0].time
+        d_wide = res_wide.stage(0).to_signal(threshold)[0].time
+        assert d_wide < d_nominal
+
+    def test_supply_profile_accepted(self, chain):
+        supply = SineSupplyNoise(UMC90.vdd_nominal, 0.01, 30.0)
+        result = run_pulse(chain, 80.0, supply=supply)
+        assert result.vdd.max() <= UMC90.vdd_nominal * 1.011
+        assert result.vdd.min() >= UMC90.vdd_nominal * 0.989
+
+    def test_output_property_is_last_stage(self, chain):
+        result = run_pulse(chain, 80.0)
+        assert result.output is result.stage_waveforms[-1]
+
+    def test_load_factor_slows_stage(self):
+        plain = AnalogInverterChain(UMC90, stages=1)
+        loaded = AnalogInverterChain(UMC90, stages=1, load_factors=[3.0])
+        threshold = 0.5 * UMC90.vdd_nominal
+        d_plain = run_pulse(plain, 100.0).stage(0).to_signal(threshold)[0].time
+        d_loaded = run_pulse(loaded, 100.0).stage(0).to_signal(threshold)[0].time
+        assert d_loaded > d_plain
+
+    def test_pulse_stimulus_shapes(self):
+        grid = np.linspace(0.0, 100.0, 1001)
+        ideal = pulse_stimulus(grid, 20.0, 30.0, high=1.0, slew=0.0)
+        assert ideal.max() == 1.0 and ideal.min() == 0.0
+        slewed = pulse_stimulus(grid, 20.0, 30.0, high=1.0, slew=4.0)
+        assert 0.0 < slewed[np.searchsorted(grid, 21.0)] < 1.0

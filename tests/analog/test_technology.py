@@ -1,0 +1,78 @@
+"""Unit tests for technology parameters and variations."""
+
+import numpy as np
+import pytest
+
+from repro.analog import UMC65, UMC90, ConstantSupply, SineSupplyNoise, Technology
+from repro.analog import RandomPhaseSineSupply, width_variation
+
+
+class TestTechnology:
+    def test_drive_scale_is_one_at_nominal(self):
+        assert UMC90.drive_scale(UMC90.vdd_nominal, UMC90.vth_n) == pytest.approx(1.0)
+
+    def test_delay_grows_as_vdd_drops(self):
+        taus = [UMC90.tau_pull_down(v) for v in (1.0, 0.8, 0.6, 0.4)]
+        assert all(later > earlier for earlier, later in zip(taus, taus[1:]))
+
+    def test_delay_explodes_near_threshold(self):
+        assert UMC90.tau_pull_down(UMC90.vth_n + 0.01) > 10.0 * UMC90.tau_pull_down(1.0)
+
+    def test_pull_up_slower_than_pull_down(self):
+        # pMOS weaker than nMOS by pull_up_strength < 1.
+        assert UMC90.tau_pull_up(1.0) > UMC90.tau_pull_down(1.0)
+
+    def test_array_evaluation(self):
+        vdd = np.array([1.0, 0.8, 0.6])
+        down = UMC90.tau_pull_down_array(vdd)
+        up = UMC90.tau_pull_up_array(vdd)
+        assert down.shape == (3,)
+        assert np.all(up > down)
+
+    def test_width_scaling(self):
+        wider = UMC90.with_width(1.1)
+        assert wider.tau_nominal == pytest.approx(UMC90.tau_nominal / 1.1)
+        assert "W x" in wider.name
+        with pytest.raises(ValueError):
+            UMC90.with_width(0.0)
+
+    def test_width_variation_helper(self):
+        narrower = width_variation(UMC90, -10.0)
+        assert narrower.tau_nominal > UMC90.tau_nominal
+
+    def test_switching_threshold(self):
+        assert UMC90.switching_threshold(1.0) == pytest.approx(0.5)
+
+    def test_two_technologies_differ(self):
+        assert UMC65.vdd_nominal != UMC90.vdd_nominal
+        assert UMC65.tau_nominal < UMC90.tau_nominal
+
+
+class TestSupplies:
+    def test_constant_supply(self):
+        supply = ConstantSupply(1.2)
+        values = supply(np.linspace(0, 10, 5))
+        assert np.allclose(values, 1.2)
+        assert supply.nominal() == 1.2
+
+    def test_sine_supply_range(self):
+        supply = SineSupplyNoise(1.0, 0.01, period=30.0)
+        t = np.linspace(0.0, 300.0, 5000)
+        values = supply(t)
+        assert values.max() <= 1.01 + 1e-12
+        assert values.min() >= 0.99 - 1e-12
+        assert supply.nominal() == 1.0
+
+    def test_sine_phase_changes_waveform(self):
+        t = np.linspace(0.0, 30.0, 100)
+        a = SineSupplyNoise(1.0, 0.01, 30.0, phase=0.0)(t)
+        b = SineSupplyNoise(1.0, 0.01, 30.0, phase=1.5)(t)
+        assert not np.allclose(a, b)
+
+    def test_random_phase_factory(self):
+        factory = RandomPhaseSineSupply(1.0, 0.01, 30.0, seed=1)
+        first = factory.sample()
+        second = factory.sample()
+        assert isinstance(first, SineSupplyNoise)
+        assert first.phase != second.phase
+        assert factory.nominal() == 1.0

@@ -1,0 +1,96 @@
+"""Unit tests for waveform handling and digitisation."""
+
+import numpy as np
+import pytest
+
+from repro.analog import Waveform, digitize, threshold_crossings
+from repro.core import Signal
+
+
+class TestWaveform:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 0.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            Waveform(np.array([[0.0]]), np.array([[0.0]]))
+
+    def test_value_at_interpolates(self):
+        waveform = Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert waveform.value_at(0.5) == pytest.approx(0.5)
+
+    def test_from_signal_ideal(self):
+        times = np.linspace(0.0, 10.0, 101)
+        waveform = Waveform.from_signal(Signal.pulse(2.0, 3.0), times, high=1.2)
+        assert waveform.value_at(1.0) == 0.0
+        assert waveform.value_at(3.0) == pytest.approx(1.2)
+        assert waveform.value_at(8.0) == 0.0
+
+    def test_from_signal_with_slew(self):
+        times = np.linspace(0.0, 10.0, 1001)
+        waveform = Waveform.from_signal(
+            Signal.step(5.0), times, high=1.0, slew=1.0
+        )
+        assert waveform.value_at(4.4) == pytest.approx(0.0, abs=1e-6)
+        assert waveform.value_at(5.0) == pytest.approx(0.5, abs=0.02)
+        assert waveform.value_at(5.6) == pytest.approx(1.0, abs=1e-6)
+
+    def test_len(self):
+        assert len(Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0]))) == 2
+
+
+class TestThresholdCrossings:
+    def test_simple_ramp(self):
+        times = np.linspace(0.0, 1.0, 11)
+        values = times.copy()
+        crossings = threshold_crossings(times, values, 0.55)
+        assert len(crossings) == 1
+        assert crossings[0] == pytest.approx(0.55, abs=1e-9)
+
+    def test_rising_and_falling_filters(self):
+        times = np.linspace(0.0, 10.0, 1001)
+        waveform = Waveform.from_signal(Signal.pulse(2.0, 3.0), times, high=1.0, slew=0.5)
+        both = waveform.crossings(0.5)
+        rising = waveform.crossings(0.5, rising=True)
+        falling = waveform.crossings(0.5, rising=False)
+        assert len(both) == 2
+        assert len(rising) == 1 and len(falling) == 1
+        assert rising[0] < falling[0]
+
+    def test_no_crossings(self):
+        times = np.linspace(0.0, 1.0, 11)
+        assert threshold_crossings(times, np.zeros_like(times), 0.5) == []
+
+    def test_too_short_waveform(self):
+        assert threshold_crossings(np.array([0.0]), np.array([1.0]), 0.5) == []
+
+
+class TestDigitize:
+    def test_pulse_roundtrip(self):
+        times = np.linspace(0.0, 10.0, 2001)
+        waveform = Waveform.from_signal(Signal.pulse(2.0, 3.0), times, high=1.0, slew=0.2)
+        signal = digitize(waveform, 0.5)
+        assert signal.initial_value == 0
+        assert len(signal) == 2
+        assert signal[0].time == pytest.approx(2.0, abs=0.01)
+        assert signal[1].time == pytest.approx(5.0, abs=0.01)
+
+    def test_initial_value_above_threshold(self):
+        times = np.linspace(0.0, 1.0, 11)
+        waveform = Waveform(times, np.full_like(times, 0.9))
+        assert digitize(waveform, 0.5).initial_value == 1
+
+    def test_min_separation_filters_glitches(self):
+        times = np.linspace(0.0, 10.0, 10001)
+        # A waveform that pokes just above threshold for a very short time.
+        values = np.zeros_like(times)
+        values[(times > 5.0) & (times < 5.05)] = 1.0
+        waveform = Waveform(times, values)
+        assert len(digitize(waveform, 0.5)) == 2
+        assert digitize(waveform, 0.5, min_separation=0.1).is_zero()
+
+    def test_to_signal_method(self):
+        times = np.linspace(0.0, 10.0, 1001)
+        waveform = Waveform.from_signal(Signal.step(3.0), times, high=1.0)
+        assert waveform.to_signal(0.5).final_value == 1

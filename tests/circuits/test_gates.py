@@ -1,0 +1,90 @@
+"""Unit tests for the gate library."""
+
+import pytest
+
+from repro.circuits import (
+    AND2,
+    AND3,
+    BUF,
+    GATE_LIBRARY,
+    INV,
+    MAJ3,
+    MUX2,
+    NAND2,
+    NOR2,
+    OR2,
+    OR3,
+    XNOR2,
+    XOR2,
+    GateType,
+)
+
+
+class TestStandardGates:
+    def test_buf_and_inv(self):
+        assert BUF(0) == 0 and BUF(1) == 1
+        assert INV(0) == 1 and INV(1) == 0
+
+    def test_and_or(self):
+        assert AND2(1, 1) == 1 and AND2(1, 0) == 0
+        assert OR2(0, 0) == 0 and OR2(0, 1) == 1
+
+    def test_nand_nor(self):
+        assert NAND2(1, 1) == 0 and NAND2(0, 0) == 1
+        assert NOR2(0, 0) == 1 and NOR2(1, 0) == 0
+
+    def test_xor_xnor(self):
+        assert XOR2(1, 0) == 1 and XOR2(1, 1) == 0
+        assert XNOR2(1, 1) == 1 and XNOR2(1, 0) == 0
+
+    def test_three_input_gates(self):
+        assert AND3(1, 1, 1) == 1 and AND3(1, 1, 0) == 0
+        assert OR3(0, 0, 0) == 0 and OR3(0, 0, 1) == 1
+
+    def test_mux(self):
+        # MUX2(select, a, b): select ? a : b
+        assert MUX2(1, 1, 0) == 1
+        assert MUX2(0, 1, 0) == 0
+
+    def test_majority(self):
+        assert MAJ3(1, 1, 0) == 1
+        assert MAJ3(1, 0, 0) == 0
+
+    def test_library_contains_all(self):
+        for name in ("BUF", "INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2"):
+            assert name in GATE_LIBRARY
+            assert GATE_LIBRARY[name].name == name
+
+
+class TestGateType:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            AND2.evaluate([1])
+
+    def test_arity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GateType("bad", 0, lambda v: 0)
+
+    def test_non_boolean_output_rejected(self):
+        gate = GateType("weird", 1, lambda v: 7)
+        with pytest.raises(ValueError):
+            gate.evaluate([1])
+
+    def test_from_function(self):
+        gate = GateType.from_function("AOI", 3, lambda a, b, c: not (a and b or c))
+        assert gate(1, 1, 0) == 0
+        assert gate(0, 0, 0) == 1
+
+    def test_from_truth_table(self):
+        gate = GateType.from_truth_table("odd", 2, {(0, 1): 1, (1, 0): 1})
+        assert gate(0, 1) == 1
+        assert gate(1, 1) == 0
+
+    def test_truth_table_roundtrip(self):
+        table = XOR2.truth_table()
+        assert table[(0, 1)] == 1
+        assert table[(1, 1)] == 0
+        assert len(table) == 4
+
+    def test_inputs_coerced_to_bool(self):
+        assert OR2.evaluate([0, 2]) == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the prebuilt circuit library."""
+
+import pytest
+
+from repro.circuits import (
+    buffer_chain,
+    fed_back_or,
+    glitch_generator,
+    inverter_chain,
+    simulate,
+    sr_latch_nor,
+)
+from repro.core import InvolutionChannel, InvolutionPair, PureDelayChannel, Signal
+
+
+def exp_factory():
+    return InvolutionChannel(InvolutionPair.exp_channel(1.0, 0.5))
+
+
+class TestInverterChain:
+    def test_structure(self):
+        circuit = inverter_chain(7, exp_factory)
+        assert len(circuit.gates()) == 7
+        assert len(circuit.output_ports()) == 1
+        circuit.validate()
+
+    def test_taps_exposed(self):
+        circuit = inverter_chain(3, exp_factory, expose_taps=True)
+        names = {p.name for p in circuit.output_ports()}
+        assert names == {"q1", "q2", "q3", "out"}
+
+    def test_odd_chain_inverts_step(self):
+        circuit = inverter_chain(3, exp_factory)
+        execution = simulate(circuit, {"in": Signal.step(0.0)}, 50.0)
+        out = execution.output("out")
+        assert out.initial_value == 1
+        assert out.final_value == 0
+
+    def test_even_chain_preserves_polarity(self):
+        circuit = inverter_chain(4, exp_factory)
+        execution = simulate(circuit, {"in": Signal.step(0.0)}, 50.0)
+        out = execution.output("out")
+        assert out.initial_value == 0
+        assert out.final_value == 1
+
+    def test_narrow_pulse_dies_along_the_chain(self):
+        circuit = inverter_chain(5, exp_factory, expose_taps=True)
+        execution = simulate(circuit, {"in": Signal.pulse(0.0, 0.75)}, 80.0)
+        first = execution.output_signals["q1"]
+        last = execution.output_signals["q5"]
+        assert len(first) >= 2
+        assert last.is_constant()
+
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            inverter_chain(0, exp_factory)
+
+
+class TestBufferChain:
+    def test_step_propagates_with_accumulated_delay(self):
+        circuit = buffer_chain(4, lambda: PureDelayChannel(1.0))
+        execution = simulate(circuit, {"in": Signal.step(0.0)}, 20.0)
+        out = execution.output("out")
+        assert out.transition_times() == pytest.approx([4.0])
+
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            buffer_chain(0, exp_factory)
+
+
+class TestFedBackOr:
+    def test_has_feedback(self):
+        circuit = fed_back_or(exp_factory())
+        assert circuit.has_feedback()
+        circuit.validate()
+
+    def test_input_channel_can_be_customised(self):
+        circuit = fed_back_or(exp_factory(), input_channel=PureDelayChannel(0.5))
+        execution = simulate(circuit, {"i": Signal.pulse(0.0, 5.0)}, 60.0)
+        out = execution.output_signals["or_out"]
+        # The input channel delays the OR's rise by 0.5.
+        assert out[0].time == pytest.approx(0.5)
+        assert out.final_value == 1
+
+
+class TestGlitchGenerator:
+    def test_generates_one_glitch_per_input_transition(self):
+        circuit = glitch_generator(PureDelayChannel(1.0), PureDelayChannel(0.2))
+        execution = simulate(circuit, {"in": Signal.pulse(1.0, 10.0)}, 40.0)
+        pulses = execution.output("out").pulses()
+        assert len(pulses) == 2
+        assert pulses[0].length == pytest.approx(0.8)
+
+
+class TestSRLatch:
+    def test_structure(self):
+        circuit = sr_latch_nor(exp_factory)
+        assert len(circuit.gates()) == 2
+        assert circuit.has_feedback()
+        circuit.validate()

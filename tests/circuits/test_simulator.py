@@ -1,0 +1,215 @@
+"""Unit tests for the event-driven simulator."""
+
+import pytest
+
+from repro.circuits import (
+    BUF,
+    INV,
+    OR2,
+    XOR2,
+    CausalityError,
+    Circuit,
+    SimulationError,
+    Simulator,
+    simulate,
+)
+from repro.core import (
+    EtaBound,
+    EtaInvolutionChannel,
+    InertialDelayChannel,
+    InvolutionChannel,
+    InvolutionPair,
+    PureDelayChannel,
+    Signal,
+    WorstCaseAdversary,
+)
+
+
+def buffer_circuit(channel) -> Circuit:
+    circuit = Circuit("buffer")
+    circuit.add_input("a")
+    circuit.add_gate("g", BUF, initial_value=0)
+    circuit.add_output("y")
+    circuit.connect("a", "g", channel, pin=0)
+    circuit.connect("g", "y")
+    return circuit
+
+
+class TestBasicSimulation:
+    def test_pure_delay_buffer(self):
+        execution = simulate(
+            buffer_circuit(PureDelayChannel(1.5)), {"a": Signal.pulse(1.0, 2.0)}, 20.0
+        )
+        assert execution.output("y").transition_times() == [2.5, 4.5]
+
+    def test_simulated_channel_matches_offline_channel_function(self, exp_pair):
+        channel = InvolutionChannel(exp_pair)
+        offline = channel(Signal.pulse_train(0.0, [2.0, 0.4, 1.5], [2.0, 1.0]))
+        execution = simulate(
+            buffer_circuit(InvolutionChannel(exp_pair)),
+            {"a": Signal.pulse_train(0.0, [2.0, 0.4, 1.5], [2.0, 1.0])},
+            100.0,
+        )
+        online = execution.output("y")
+        assert online.transition_times() == pytest.approx(offline.transition_times())
+
+    def test_missing_input_rejected(self):
+        simulator = Simulator(buffer_circuit(PureDelayChannel(1.0)))
+        with pytest.raises(SimulationError):
+            simulator.run({}, 10.0)
+
+    def test_unknown_input_rejected(self):
+        simulator = Simulator(buffer_circuit(PureDelayChannel(1.0)))
+        with pytest.raises(SimulationError):
+            simulator.run({"a": Signal.zero(), "b": Signal.zero()}, 10.0)
+
+    def test_end_time_truncates(self):
+        execution = simulate(
+            buffer_circuit(PureDelayChannel(1.0)), {"a": Signal.pulse(1.0, 10.0)}, 5.0
+        )
+        assert execution.output("y").transition_times() == [2.0]
+
+    def test_event_count_reported(self):
+        execution = simulate(
+            buffer_circuit(PureDelayChannel(1.0)), {"a": Signal.pulse(1.0, 2.0)}, 20.0
+        )
+        assert execution.event_count > 0
+
+    def test_max_events_guard(self, exp_pair, eta_small):
+        from repro.circuits import fed_back_or
+
+        channel = EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+        circuit = fed_back_or(channel)
+        with pytest.raises(SimulationError):
+            Simulator(circuit, max_events=5).run({"i": Signal.pulse(0.0, 1.0)}, 100.0)
+
+    def test_invalid_causality_policy(self):
+        with pytest.raises(ValueError):
+            Simulator(buffer_circuit(PureDelayChannel(1.0)), on_causality="ignore")
+
+    def test_execution_accessors(self):
+        execution = simulate(
+            buffer_circuit(PureDelayChannel(1.0)), {"a": Signal.pulse(1.0, 2.0)}, 20.0
+        )
+        assert execution.output() == execution.output("y")
+        assert execution.node("g").final_value == 0
+        assert len(execution.edge_signals) == 2
+
+
+class TestGatesInCircuits:
+    def test_inverter_initial_settle(self):
+        # A BUF gate declared with an initial value inconsistent with its
+        # input settles with a transition at time 0.
+        circuit = Circuit("settle")
+        circuit.add_input("a", initial_value=1)
+        circuit.add_gate("g", BUF, initial_value=0)
+        circuit.add_output("y")
+        circuit.connect("a", "g", PureDelayChannel(1.0), pin=0)
+        circuit.connect("g", "y")
+        execution = simulate(circuit, {"a": Signal.one()}, 10.0)
+        out = execution.output("y")
+        assert out.final_value == 1
+
+    def test_or_gate_combines_inputs(self):
+        circuit = Circuit("or")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g", OR2, initial_value=0)
+        circuit.add_output("y")
+        circuit.connect("a", "g", PureDelayChannel(0.5), pin=0)
+        circuit.connect("b", "g", PureDelayChannel(0.5), pin=1)
+        circuit.connect("g", "y")
+        execution = simulate(
+            circuit,
+            {"a": Signal.pulse(1.0, 4.0), "b": Signal.pulse(3.0, 4.0)},
+            20.0,
+        )
+        out = execution.output("y")
+        assert out.transition_times() == pytest.approx([1.5, 7.5])
+
+    def test_xor_glitch_generation(self):
+        # XOR of a signal and a delayed copy produces a glitch per transition.
+        circuit = Circuit("xor")
+        circuit.add_input("a")
+        circuit.add_gate("g", XOR2, initial_value=0)
+        circuit.add_output("y")
+        circuit.connect("a", "g", PureDelayChannel(0.1), pin=0)
+        circuit.connect("a", "g", PureDelayChannel(0.6), pin=1)
+        circuit.connect("g", "y")
+        execution = simulate(circuit, {"a": Signal.step(1.0)}, 20.0)
+        pulses = execution.output("y").pulses()
+        assert len(pulses) == 1
+        assert pulses[0].length == pytest.approx(0.5)
+
+    def test_inverting_channel_in_circuit(self, exp_pair):
+        circuit = Circuit("inverting")
+        circuit.add_input("a")
+        # The inverting channel's output idles at 1, so the buffer gate must
+        # be declared with a consistent initial value of 1.
+        circuit.add_gate("g", BUF, initial_value=1)
+        circuit.add_output("y")
+        circuit.connect("a", "g", InvolutionChannel(exp_pair, inverting=True), pin=0)
+        circuit.connect("g", "y")
+        execution = simulate(circuit, {"a": Signal.step(0.0)}, 20.0)
+        out = execution.output("y")
+        assert out.initial_value == 1
+        assert out.final_value == 0
+        assert len(out) == 1
+
+    def test_inertial_channel_filters_in_circuit(self):
+        circuit = buffer_circuit(InertialDelayChannel(delay=1.0, window=0.5))
+        short = simulate(circuit, {"a": Signal.pulse(1.0, 0.3)}, 20.0)
+        long = simulate(circuit, {"a": Signal.pulse(1.0, 2.0)}, 20.0)
+        assert short.output("y").is_zero()
+        assert len(long.output("y")) == 2
+
+    def test_same_time_input_events_single_gate_evaluation(self):
+        circuit = Circuit("simultaneous")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_gate("g", XOR2, initial_value=0)
+        circuit.add_output("y")
+        circuit.connect("a", "g", pin=0)
+        circuit.connect("b", "g", pin=1)
+        circuit.connect("g", "y")
+        execution = simulate(
+            circuit, {"a": Signal.step(1.0), "b": Signal.step(1.0)}, 10.0
+        )
+        # Both inputs rise simultaneously through zero-delay channels: XOR
+        # stays 0 and must not produce a zero-width glitch.
+        assert execution.output("y").is_zero()
+
+
+class TestFeedback:
+    def test_storage_loop_latches(self, exp_pair, eta_small):
+        from repro.circuits import fed_back_or
+
+        channel = EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+        circuit = fed_back_or(channel)
+        execution = simulate(circuit, {"i": Signal.pulse(0.0, 5.0)}, 100.0)
+        out = execution.output_signals["or_out"]
+        assert out.final_value == 1
+        assert len(out) == 1
+
+    def test_storage_loop_filters_short_pulse(self, exp_pair, eta_small):
+        from repro.circuits import fed_back_or
+
+        channel = EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+        circuit = fed_back_or(channel)
+        execution = simulate(circuit, {"i": Signal.pulse(0.0, 0.2)}, 100.0)
+        out = execution.output_signals["or_out"]
+        assert out.final_value == 0
+        assert len(out.pulses()) == 1
+
+    def test_sr_latch_sets_and_resets(self, exp_pair):
+        from repro.circuits import sr_latch_nor
+
+        circuit = sr_latch_nor(lambda: InvolutionChannel(InvolutionPair.exp_channel(1.0, 0.5)))
+        execution = simulate(
+            circuit,
+            {"s": Signal.pulse(1.0, 5.0), "r": Signal.pulse(20.0, 5.0)},
+            60.0,
+        )
+        q = execution.output_signals["q"]
+        assert q.value_at(15.0) == 1
+        assert q.final_value == 0

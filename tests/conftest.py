@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EtaBound,
+    EtaInvolutionChannel,
+    InvolutionChannel,
+    InvolutionPair,
+    WorstCaseAdversary,
+    ZeroAdversary,
+    admissible_eta_bound,
+)
+
+
+@pytest.fixture(scope="session")
+def exp_pair() -> InvolutionPair:
+    """The canonical symmetric exp-channel pair used throughout the tests."""
+    return InvolutionPair.exp_channel(tau=1.0, t_p=0.5)
+
+
+@pytest.fixture(scope="session")
+def asymmetric_pair() -> InvolutionPair:
+    """An asymmetric exp-channel pair (threshold 0.6)."""
+    return InvolutionPair.exp_channel(tau=0.8, t_p=0.4, v_th=0.6)
+
+
+@pytest.fixture(scope="session")
+def eta_small(exp_pair) -> EtaBound:
+    """A small admissible eta bound for the canonical pair."""
+    return admissible_eta_bound(exp_pair, eta_plus=0.05)
+
+
+@pytest.fixture()
+def involution_channel(exp_pair) -> InvolutionChannel:
+    """A deterministic involution channel over the canonical pair."""
+    return InvolutionChannel(exp_pair)
+
+
+@pytest.fixture()
+def eta_channel_zero(exp_pair, eta_small) -> EtaInvolutionChannel:
+    """An eta-involution channel resolved by the zero adversary."""
+    return EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
+
+
+@pytest.fixture()
+def eta_channel_worst(exp_pair, eta_small) -> EtaInvolutionChannel:
+    """An eta-involution channel resolved by the worst-case adversary."""
+    return EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need random data."""
+    return np.random.default_rng(20180319)

@@ -1,0 +1,123 @@
+"""Unit tests for the non-faithful baseline channels."""
+
+import pytest
+
+from repro.core import (
+    DegradationDelayChannel,
+    InertialDelayChannel,
+    PureDelayChannel,
+    Signal,
+    remove_short_pulses,
+)
+
+
+class TestRemoveShortPulses:
+    def test_removes_single_short_pulse(self):
+        signal = Signal.pulse(1.0, 0.2)
+        assert remove_short_pulses(signal, 0.5).is_zero()
+
+    def test_keeps_long_pulse(self):
+        signal = Signal.pulse(1.0, 2.0)
+        assert remove_short_pulses(signal, 0.5) == signal
+
+    def test_cascading_removal_merges_train(self):
+        # A train of short pulses separated by short gaps collapses entirely.
+        signal = Signal.pulse_train(0.0, [0.2] * 5, [0.2] * 4)
+        assert remove_short_pulses(signal, 0.3).is_zero()
+
+    def test_mixed_train(self):
+        signal = Signal.pulse_train(0.0, [2.0, 0.1, 2.0], [1.0, 1.0])
+        filtered = remove_short_pulses(signal, 0.5)
+        assert len(filtered.pulses()) == 2
+
+
+class TestPureDelayChannel:
+    def test_shifts_all_transitions(self):
+        channel = PureDelayChannel(1.5)
+        out = channel(Signal.pulse(1.0, 2.0))
+        assert out.transition_times() == [2.5, 4.5]
+
+    def test_propagates_arbitrarily_short_pulses(self):
+        channel = PureDelayChannel(1.5)
+        out = channel(Signal.pulse(1.0, 1e-6))
+        assert len(out) == 2
+
+    def test_asymmetric_delays_can_cancel(self):
+        channel = PureDelayChannel(1.0, falling_delay=0.2)
+        out = channel(Signal.pulse(0.0, 0.5))
+        # Rising scheduled at 1.0, falling at 0.7 -> non-FIFO -> pulse vanishes.
+        assert out.is_zero()
+
+    def test_inverting(self):
+        channel = PureDelayChannel(1.0, inverting=True)
+        out = channel(Signal.step(0.0))
+        assert out.initial_value == 1
+        assert out[0].value == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PureDelayChannel(-1.0)
+
+
+class TestInertialDelayChannel:
+    def test_filters_short_pulse(self):
+        channel = InertialDelayChannel(delay=1.0, window=0.5)
+        assert channel(Signal.pulse(0.0, 0.4)).is_zero()
+
+    def test_passes_long_pulse(self):
+        channel = InertialDelayChannel(delay=1.0, window=0.5)
+        out = channel(Signal.pulse(0.0, 2.0))
+        assert out.transition_times() == [1.0, 3.0]
+
+    def test_solves_bounded_spf_in_one_stage(self):
+        # The root of non-faithfulness: every pulse below the window is
+        # filtered immediately, every pulse above propagates -- a perfect
+        # bounded-time short-pulse filter.
+        channel = InertialDelayChannel(delay=1.0, window=0.5)
+        for width in (0.01, 0.1, 0.49):
+            assert channel(Signal.pulse(0.0, width)).is_zero()
+        for width in (0.51, 1.0, 10.0):
+            assert len(channel(Signal.pulse(0.0, width))) == 2
+
+    def test_rejection_window_exposed(self):
+        assert InertialDelayChannel(1.0, 0.5).rejection_window() == 0.5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            InertialDelayChannel(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            InertialDelayChannel(1.0, -0.5)
+
+
+class TestDegradationDelayChannel:
+    def test_isolated_transition_gets_nominal_delay(self):
+        channel = DegradationDelayChannel(delta_nominal=1.0, tau_deg=0.5)
+        out = channel(Signal.step(2.0))
+        assert out[0].time == pytest.approx(3.0)
+
+    def test_closely_spaced_transitions_are_degraded(self):
+        channel = DegradationDelayChannel(delta_nominal=1.0, tau_deg=0.5)
+        out = channel(Signal.pulse(0.0, 0.3))
+        if len(out) == 2:
+            width = out[1].time - out[0].time
+            assert width < 0.3
+        else:
+            assert out.is_zero()
+
+    def test_glitch_train_attenuates_gradually(self):
+        channel = DegradationDelayChannel(delta_nominal=1.0, tau_deg=1.0)
+        train = Signal.pulse_train(0.0, [0.5] * 6, [0.5] * 5)
+        out = channel(train)
+        assert len(out.pulses()) < 6
+
+    def test_delay_bounded_by_nominal(self):
+        channel = DegradationDelayChannel(delta_nominal=1.0, tau_deg=0.5, T0=0.1)
+        for T in (-5.0, 0.0, 0.05, 0.2, 1.0, 100.0):
+            delay = channel.delay_for(T, True, 0, 0.0)
+            assert 0.0 <= delay <= 1.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DegradationDelayChannel(0.0, 1.0)
+        with pytest.raises(ValueError):
+            DegradationDelayChannel(1.0, 0.0)

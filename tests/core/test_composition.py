@@ -1,0 +1,77 @@
+"""Unit tests for serial channel composition."""
+
+import pytest
+
+from repro.core import (
+    InvolutionChannel,
+    InvolutionPair,
+    PureDelayChannel,
+    SerialChannel,
+    Signal,
+)
+from repro.circuits import inverter_chain, simulate
+
+
+class TestSerialChannel:
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            SerialChannel([])
+
+    def test_pure_delays_add_up(self):
+        composite = SerialChannel([PureDelayChannel(1.0), PureDelayChannel(2.0)])
+        out = composite(Signal.step(0.0))
+        assert out.transition_times() == [3.0]
+
+    def test_inversion_parity(self, exp_pair):
+        odd = SerialChannel([InvolutionChannel(exp_pair, inverting=True)] * 3)
+        even = SerialChannel([InvolutionChannel(exp_pair, inverting=True)] * 2)
+        assert odd.inverting
+        assert not even.inverting
+        assert odd.output_initial_value(0) == 1
+        assert even.output_initial_value(0) == 0
+
+    def test_matches_circuit_simulation_of_a_chain(self, exp_pair):
+        # Composing N inverting involution channels equals simulating an
+        # N-stage inverter chain built from non-inverting channels + INV gates.
+        stages = 4
+        composite = SerialChannel(
+            [InvolutionChannel(exp_pair, inverting=True) for _ in range(stages)]
+        )
+        stimulus = Signal.pulse_train(0.0, [2.0, 1.0], [2.0])
+        composed = composite(stimulus)
+
+        circuit = inverter_chain(stages, lambda: InvolutionChannel(exp_pair))
+        execution = simulate(circuit, {"in": stimulus}, 200.0)
+        simulated = execution.output_signals["out"]
+        assert composed.initial_value == simulated.initial_value
+        assert composed.transition_times() == pytest.approx(simulated.transition_times())
+
+    def test_stage_outputs_attenuate_glitches(self, exp_pair):
+        composite = SerialChannel(
+            [InvolutionChannel(exp_pair, inverting=True) for _ in range(5)]
+        )
+        train = Signal.pulse_train(0.0, [0.8] * 6, [0.7] * 5)
+        taps = composite.stage_outputs(train)
+        assert len(taps) == 5
+        counts = [len(s) for s in taps]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_reset_propagates(self, exp_pair, eta_small):
+        from repro.core import EtaInvolutionChannel, RandomAdversary
+
+        stage = EtaInvolutionChannel(exp_pair, eta_small, RandomAdversary(seed=5))
+        composite = SerialChannel([stage])
+        signal = Signal.pulse_train(0.0, [1.0, 1.0], [1.0])
+        first = composite(signal)
+        second = composite(signal)
+        assert first == second
+
+    def test_delay_for_is_not_defined(self, exp_pair):
+        composite = SerialChannel([InvolutionChannel(exp_pair)])
+        with pytest.raises(NotImplementedError):
+            composite.delay_for(1.0, True, 0, 0.0)
+
+    def test_len_and_repr(self, exp_pair):
+        composite = SerialChannel([InvolutionChannel(exp_pair)] * 2)
+        assert len(composite) == 2
+        assert "SerialChannel" in repr(composite)

@@ -1,0 +1,91 @@
+"""Unit tests for constraint (C) helpers."""
+
+import pytest
+
+from repro.core import (
+    EtaBound,
+    InvolutionPair,
+    admissible_eta_bound,
+    constraint_C_margin,
+    max_eta_minus,
+    max_symmetric_eta,
+    satisfies_constraint_C,
+)
+from repro.core.constraint import max_eta_plus
+
+
+class TestConstraintC:
+    def test_zero_noise_always_satisfies(self, exp_pair):
+        assert satisfies_constraint_C(exp_pair, EtaBound.zero())
+
+    def test_margin_formula(self, exp_pair):
+        eta = EtaBound(0.05, 0.1)
+        expected = exp_pair.delta_down(-0.05) - exp_pair.delta_min - 0.15
+        assert constraint_C_margin(exp_pair, eta) == pytest.approx(expected)
+
+    def test_large_noise_violates(self, exp_pair):
+        assert not satisfies_constraint_C(exp_pair, EtaBound(0.5, 0.5))
+
+    def test_margin_monotone_in_eta_minus(self, exp_pair):
+        margins = [
+            constraint_C_margin(exp_pair, EtaBound(0.05, m)) for m in (0.0, 0.1, 0.2, 0.3)
+        ]
+        assert all(b < a for a, b in zip(margins, margins[1:]))
+
+    def test_eta_plus_out_of_domain_gives_minus_inf(self, exp_pair):
+        eta = EtaBound(10.0 * exp_pair.delta_down_inf, 0.0)
+        assert constraint_C_margin(exp_pair, eta) == float("-inf")
+
+
+class TestDimensioning:
+    def test_max_eta_minus_is_supremum(self, exp_pair):
+        supremum = max_eta_minus(exp_pair, 0.05)
+        just_below = EtaBound(0.05, supremum * (1 - 1e-9))
+        at_supremum = EtaBound(0.05, supremum)
+        assert satisfies_constraint_C(exp_pair, just_below)
+        assert not satisfies_constraint_C(exp_pair, at_supremum)
+
+    def test_max_eta_minus_matches_paper_formula(self, exp_pair):
+        # eta_minus = delta_down(-eta_plus) - delta_min - eta_plus.
+        eta_plus = 0.08
+        expected = exp_pair.delta_down(-eta_plus) - exp_pair.delta_min - eta_plus
+        assert max_eta_minus(exp_pair, eta_plus) == pytest.approx(expected)
+
+    def test_max_eta_minus_rejects_huge_eta_plus(self, exp_pair):
+        with pytest.raises(ValueError):
+            max_eta_minus(exp_pair, 2.0)
+
+    def test_max_eta_plus_below_delta_min(self, exp_pair):
+        # The paper notes constraint (C) implies eta_plus < delta_min.
+        supremum = max_eta_plus(exp_pair)
+        assert 0.0 < supremum < exp_pair.delta_min
+        assert satisfies_constraint_C(exp_pair, EtaBound(supremum * 0.999, 0.0))
+        assert not satisfies_constraint_C(exp_pair, EtaBound(supremum * 1.001, 0.0))
+
+    def test_max_symmetric_eta(self, exp_pair):
+        supremum = max_symmetric_eta(exp_pair)
+        assert supremum > 0
+        assert satisfies_constraint_C(exp_pair, EtaBound.symmetric(supremum * 0.999))
+        assert not satisfies_constraint_C(exp_pair, EtaBound.symmetric(supremum * 1.001))
+
+    def test_admissible_eta_bound_default(self, exp_pair):
+        bound = admissible_eta_bound(exp_pair, 0.05)
+        assert satisfies_constraint_C(exp_pair, bound)
+        assert bound.eta_plus == 0.05
+        assert bound.eta_minus < max_eta_minus(exp_pair, 0.05)
+
+    def test_admissible_eta_bound_explicit_minus(self, exp_pair):
+        bound = admissible_eta_bound(exp_pair, 0.05, eta_minus=0.1)
+        assert bound.eta_minus == 0.1
+
+    def test_admissible_eta_bound_rejects_violation(self, exp_pair):
+        with pytest.raises(ValueError):
+            admissible_eta_bound(exp_pair, 0.05, eta_minus=1.0)
+
+    def test_negative_eta_plus_rejected(self, exp_pair):
+        with pytest.raises(ValueError):
+            max_eta_minus(exp_pair, -0.1)
+
+    def test_asymmetric_channel_dimensioning(self, asymmetric_pair):
+        bound = admissible_eta_bound(asymmetric_pair, 0.03)
+        assert satisfies_constraint_C(asymmetric_pair, bound)

@@ -1,0 +1,190 @@
+"""Unit tests for delay functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ConstantDelay, ExpDelay, ScaledDelay, ShiftedDelay, TableDelay
+from repro.core.delay_functions import FunctionalDelay, numeric_derivative, numeric_inverse
+
+
+class TestExpDelay:
+    def test_limit_matches_closed_form(self):
+        delay = ExpDelay(tau=1.0, t_p=0.5, v_th=0.5, rising=True)
+        assert delay.delta_inf() == pytest.approx(0.5 + math.log(2.0))
+
+    def test_large_T_approaches_limit(self):
+        delay = ExpDelay(1.0, 0.5)
+        assert delay(50.0) == pytest.approx(delay.delta_inf(), rel=1e-9)
+
+    def test_monotone_increasing(self):
+        delay = ExpDelay(1.0, 0.5)
+        values = [delay(t) for t in np.linspace(-0.5, 5.0, 50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_concave(self):
+        delay = ExpDelay(1.0, 0.5)
+        ts = np.linspace(-0.5, 5.0, 50)
+        derivatives = [delay.derivative(t) for t in ts]
+        assert all(b <= a + 1e-12 for a, b in zip(derivatives, derivatives[1:]))
+
+    def test_domain_low_gives_minus_inf(self):
+        delay = ExpDelay(1.0, 0.5)
+        assert delay(delay.domain_low()) == -math.inf
+        assert delay(delay.domain_low() - 1.0) == -math.inf
+
+    def test_delta_at_minus_tp_is_tp(self):
+        # Lemma 1: for exp-channels delta_min = t_p.
+        delay = ExpDelay(1.3, 0.7, 0.5)
+        assert delay(-0.7) == pytest.approx(0.7, rel=1e-12)
+
+    def test_asymmetric_thresholds_are_partners(self):
+        up = ExpDelay(1.0, 0.5, v_th=0.7, rising=True)
+        down = up.partner()
+        assert down.v_th == 0.7
+        assert not down.rising
+        # Involution: -up(-down(T)) == T.
+        for T in (0.0, 0.5, 2.0):
+            assert -up(-down(T)) == pytest.approx(T, abs=1e-9)
+
+    def test_analytic_derivative_matches_numeric(self):
+        delay = ExpDelay(0.8, 0.3, 0.6)
+        for T in (-0.2, 0.0, 1.0, 3.0):
+            assert delay.derivative(T) == pytest.approx(
+                numeric_derivative(delay, T), rel=1e-4
+            )
+
+    def test_analytic_inverse(self):
+        delay = ExpDelay(1.0, 0.5)
+        for T in (-0.4, 0.0, 2.0):
+            assert delay.inverse(delay(T)) == pytest.approx(T, abs=1e-9)
+
+    def test_inverse_rejects_values_above_limit(self):
+        delay = ExpDelay(1.0, 0.5)
+        with pytest.raises(ValueError):
+            delay.inverse(delay.delta_inf() + 0.1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ExpDelay(0.0, 0.5)
+        with pytest.raises(ValueError):
+            ExpDelay(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ExpDelay(1.0, 0.5, v_th=1.0)
+
+    def test_strict_causality_check(self):
+        assert ExpDelay(1.0, 0.5).is_strictly_causal_at_zero()
+
+    def test_sample_returns_array(self):
+        delay = ExpDelay(1.0, 0.5)
+        values = delay.sample([0.0, 1.0, 2.0])
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+    def test_describe_mentions_limits(self):
+        text = ExpDelay(1.0, 0.5).describe()
+        assert "delta_inf" in text
+
+
+class TestConstantDelay:
+    def test_constant_everywhere(self):
+        delay = ConstantDelay(2.0)
+        assert delay(-100.0) == 2.0
+        assert delay(100.0) == 2.0
+        assert delay.derivative(0.0) == 0.0
+        assert delay.delta_inf() == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(-1.0)
+
+
+class TestShiftedAndScaled:
+    def test_shifted_delay(self):
+        base = ExpDelay(1.0, 0.5)
+        shifted = ShiftedDelay(base, shift_T=1.0, shift_delta=0.25)
+        assert shifted(2.0) == pytest.approx(base(1.0) + 0.25)
+        assert shifted.delta_inf() == pytest.approx(base.delta_inf() + 0.25)
+        assert shifted.domain_low() == pytest.approx(base.domain_low() + 1.0)
+
+    def test_scaled_delay_preserves_shape(self):
+        base = ExpDelay(1.0, 0.5)
+        scaled = ScaledDelay(base, 1000.0)  # ns -> ps
+        assert scaled(1000.0) == pytest.approx(1000.0 * base(1.0))
+        assert scaled.delta_inf() == pytest.approx(1000.0 * base.delta_inf())
+        assert scaled.derivative(1000.0) == pytest.approx(base.derivative(1.0), rel=1e-4)
+
+    def test_scaled_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            ScaledDelay(ExpDelay(1.0, 0.5), 0.0)
+
+
+class TestTableDelay:
+    def _reference_table(self):
+        base = ExpDelay(1.0, 0.5)
+        T = np.linspace(-0.6, 6.0, 40)
+        return base, TableDelay(T, [base(t) for t in T])
+
+    def test_interpolates_within_support(self):
+        base, table = self._reference_table()
+        for T in (0.1, 1.3, 4.2):
+            assert table(T) == pytest.approx(base(T), abs=5e-3)
+
+    def test_right_tail_saturates(self):
+        _, table = self._reference_table()
+        assert table(1e6) == pytest.approx(table.delta_inf(), rel=1e-9)
+        assert table(100.0) < table.delta_inf()
+
+    def test_left_tail_diverges(self):
+        _, table = self._reference_table()
+        assert table(table.domain_low()) == -math.inf
+        near = table(table.domain_low() + 1e-12)
+        assert near < table(table.support()[0])
+
+    def test_monotone(self):
+        _, table = self._reference_table()
+        ts = np.linspace(table.domain_low() + 1e-6, 20.0, 200)
+        values = [table(t) for t in ts]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            TableDelay([0.0], [1.0])
+        with pytest.raises(ValueError):
+            TableDelay([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            TableDelay([0.0, 1.0], [1.0, 2.0], delta_inf=1.5)
+
+    def test_unsorted_samples_are_sorted(self):
+        table = TableDelay([2.0, 0.0, 1.0], [3.0, 1.0, 2.0])
+        assert table(0.5) == pytest.approx(1.5)
+
+    def test_support(self):
+        table = TableDelay([0.0, 1.0, 2.0], [1.0, 1.5, 1.8])
+        assert table.support() == (0.0, 2.0)
+
+
+class TestFunctionalDelay:
+    def test_wraps_callable(self):
+        base = ExpDelay(1.0, 0.5)
+        wrapped = FunctionalDelay(base, base.delta_inf(), base.domain_low())
+        assert wrapped(1.0) == pytest.approx(base(1.0))
+        assert wrapped(wrapped.domain_low() - 1.0) == -math.inf
+
+    def test_generic_inverse(self):
+        base = ExpDelay(1.0, 0.5)
+        wrapped = FunctionalDelay(base, base.delta_inf(), base.domain_low())
+        assert wrapped.inverse(base(0.7)) == pytest.approx(0.7, abs=1e-6)
+
+
+class TestNumericHelpers:
+    def test_numeric_inverse(self):
+        assert numeric_inverse(lambda x: x**3, 8.0, 0.0, 3.0) == pytest.approx(2.0, abs=1e-9)
+
+    def test_numeric_inverse_out_of_range(self):
+        with pytest.raises(ValueError):
+            numeric_inverse(lambda x: x, 5.0, 0.0, 1.0)
+
+    def test_numeric_derivative(self):
+        assert numeric_derivative(math.sin, 0.0) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,160 @@
+"""Unit tests for the eta-involution channel (Fig. 3/4 behaviour)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BestCaseAdversary,
+    DeCancelAdversary,
+    EtaBound,
+    EtaInvolutionChannel,
+    InvolutionPair,
+    RandomAdversary,
+    SequenceAdversary,
+    Signal,
+    WorstCaseAdversary,
+    ZeroAdversary,
+)
+
+
+class TestZeroAdversaryEquivalence:
+    def test_matches_deterministic_channel(self, exp_pair, eta_small, involution_channel):
+        channel = EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
+        for width in (0.3, 1.0, 2.0, 5.0):
+            signal = Signal.pulse(0.0, width)
+            assert channel(signal) == involution_channel(signal)
+
+    def test_zero_bound_any_adversary_is_deterministic(self, exp_pair, involution_channel):
+        channel = EtaInvolutionChannel(exp_pair, EtaBound.zero(), WorstCaseAdversary())
+        signal = Signal.pulse(0.0, 2.0)
+        assert channel(signal) == involution_channel(signal)
+
+
+class TestShiftEffects:
+    def test_worst_case_delays_rising_and_hastens_falling(
+        self, exp_pair, eta_small, involution_channel, eta_channel_worst
+    ):
+        signal = Signal.pulse(0.0, 5.0)
+        deterministic = involution_channel(signal)
+        shifted = eta_channel_worst(signal)
+        assert shifted[0].time == pytest.approx(
+            deterministic[0].time + eta_small.eta_plus
+        )
+        # The falling transition is eta_minus earlier, but its T also changed
+        # because the rising transition moved; only the direction is fixed.
+        assert shifted[1].time < deterministic[1].time
+
+    def test_best_case_extends_pulses(self, exp_pair, eta_small, involution_channel):
+        channel = EtaInvolutionChannel(exp_pair, eta_small, BestCaseAdversary())
+        signal = Signal.pulse(0.0, 2.0)
+        deterministic = involution_channel(signal)
+        extended = channel(signal)
+        det_width = deterministic[1].time - deterministic[0].time
+        ext_width = extended[1].time - extended[0].time
+        assert ext_width > det_width
+
+    def test_decancel_adversary_rescues_pulse(self, exp_pair):
+        # Choose a pulse width that the deterministic channel cancels but
+        # that admissible shifts can rescue (Fig. 4, out2).
+        eta = EtaBound(0.2, 0.2)
+        deterministic = EtaInvolutionChannel(exp_pair, eta, ZeroAdversary())
+        decancel = EtaInvolutionChannel(exp_pair, eta, DeCancelAdversary())
+        width = exp_pair.delta_up_inf - exp_pair.delta_min - 0.05
+        signal = Signal.pulse(0.0, width)
+        assert deterministic(signal).is_zero()
+        assert len(decancel(signal)) == 2
+
+    def test_adversary_can_cancel_otherwise_surviving_pulse(self, exp_pair):
+        eta = EtaBound(0.2, 0.2)
+        worst = EtaInvolutionChannel(exp_pair, eta, WorstCaseAdversary())
+        zero = EtaInvolutionChannel(exp_pair, eta, ZeroAdversary())
+        width = exp_pair.delta_up_inf - exp_pair.delta_min + 0.05
+        signal = Signal.pulse(0.0, width)
+        assert len(zero(signal)) == 2
+        assert worst(signal).is_zero()
+
+
+class TestAdmissibleParameters:
+    def test_apply_with_choices(self, exp_pair, eta_small):
+        channel = EtaInvolutionChannel(exp_pair, eta_small)
+        signal = Signal.pulse(0.0, 5.0)
+        out = channel.apply_with_choices(signal, [eta_small.eta_plus, -eta_small.eta_minus])
+        worst = channel.with_adversary(WorstCaseAdversary())(signal)
+        assert out == worst
+
+    def test_inadmissible_choice_rejected(self, exp_pair, eta_small):
+        channel = EtaInvolutionChannel(exp_pair, eta_small)
+        with pytest.raises(ValueError):
+            channel.apply_with_choices(Signal.pulse(0.0, 5.0), [10.0 * (1 + eta_small.eta_plus)])
+
+    def test_adversary_outside_bound_rejected(self, exp_pair, eta_small):
+        channel = EtaInvolutionChannel(
+            exp_pair, eta_small, SequenceAdversary([eta_small.eta_plus + 1.0])
+        )
+        with pytest.raises(ValueError):
+            channel(Signal.pulse(0.0, 5.0))
+
+    def test_last_eta_choices_recorded(self, exp_pair, eta_small):
+        channel = EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+        channel(Signal.pulse(0.0, 5.0))
+        assert channel.last_eta_choices == [eta_small.eta_plus, -eta_small.eta_minus]
+
+    def test_deterministic_output_helper(self, exp_pair, eta_small, involution_channel):
+        channel = EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+        signal = Signal.pulse(0.0, 3.0)
+        assert channel.deterministic_output(signal) == involution_channel(signal)
+
+    def test_pending_with_etas(self, exp_pair, eta_small):
+        channel = EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+        pending = channel.pending_with_etas(Signal.pulse(0.0, 3.0))
+        assert [p.eta for p in pending] == [eta_small.eta_plus, -eta_small.eta_minus]
+
+
+class TestRandomAdversary:
+    def test_output_bracketed_by_extremes(self, exp_pair, eta_small):
+        signal = Signal.pulse(0.0, 5.0)
+        random_channel = EtaInvolutionChannel(
+            exp_pair, eta_small, RandomAdversary(seed=123)
+        )
+        out = random_channel(signal)
+        deterministic = EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())(signal)
+        # Every output transition lies within eta of *some* admissible
+        # behaviour; a simple sanity check is that the first transition is
+        # within [det - eta_minus, det + eta_plus].
+        assert (
+            deterministic[0].time - eta_small.eta_minus - 1e-12
+            <= out[0].time
+            <= deterministic[0].time + eta_small.eta_plus + 1e-12
+        )
+
+    def test_seeded_random_is_reproducible(self, exp_pair, eta_small):
+        signal = Signal.pulse_train(0.0, [1.0, 1.0, 1.0], [1.0, 1.0])
+        a = EtaInvolutionChannel(exp_pair, eta_small, RandomAdversary(seed=9))(signal)
+        b = EtaInvolutionChannel(exp_pair, eta_small, RandomAdversary(seed=9))(signal)
+        assert a == b
+
+
+class TestMisc:
+    def test_exp_channel_constructor(self, eta_small):
+        channel = EtaInvolutionChannel.exp_channel(1.0, 0.5, eta_small)
+        assert channel.delta_min == pytest.approx(0.5)
+
+    def test_constraint_check(self, exp_pair, eta_small):
+        good = EtaInvolutionChannel(exp_pair, eta_small)
+        bad = EtaInvolutionChannel(exp_pair, EtaBound(0.4, 0.4))
+        assert good.satisfies_constraint_C()
+        assert not bad.satisfies_constraint_C()
+
+    def test_domain_guard_produces_cancellation(self, exp_pair, eta_small):
+        channel = EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
+        signal = Signal.from_times([0.0, 100.0, 100.0 + 1e-9])
+        out = channel(signal)
+        assert out.final_value == 1
+        assert len(out) == 1
+
+    def test_zero_signal_maps_to_zero(self, eta_channel_worst):
+        assert eta_channel_worst(Signal.zero()).is_zero()
+
+    def test_repr(self, eta_channel_worst):
+        assert "EtaInvolutionChannel" in repr(eta_channel_worst)

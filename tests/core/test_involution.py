@@ -1,0 +1,114 @@
+"""Unit tests for involution delay pairs."""
+
+import math
+
+import pytest
+
+from repro.core import ConstantDelay, ExpDelay, InvolutionError, InvolutionPair, exp_channel_pair
+
+
+class TestExpChannelPair:
+    def test_delta_min_equals_pure_delay(self, exp_pair):
+        # Lemma 1: for exp-channels delta_min = T_p.
+        assert exp_pair.delta_min == pytest.approx(0.5, rel=1e-9)
+
+    def test_delta_min_positive_for_asymmetric(self, asymmetric_pair):
+        assert asymmetric_pair.delta_min == pytest.approx(0.4, rel=1e-6)
+
+    def test_involution_property_holds(self, exp_pair):
+        assert exp_pair.satisfies_involution()
+        assert exp_pair.involution_residual() < 1e-8
+
+    def test_limits(self, exp_pair):
+        assert exp_pair.delta_up_inf == pytest.approx(0.5 + math.log(2.0))
+        assert exp_pair.delta_down_inf == pytest.approx(0.5 + math.log(2.0))
+
+    def test_asymmetric_limits_differ(self, asymmetric_pair):
+        assert asymmetric_pair.delta_up_inf != pytest.approx(asymmetric_pair.delta_down_inf)
+
+    def test_derivative_identity_at_delta_min(self, exp_pair):
+        # Lemma 1: delta_up'(-delta_min) = 1 / delta_down'(-delta_min).
+        d = exp_pair.delta_min
+        assert exp_pair.derivative_up(-d) == pytest.approx(
+            1.0 / exp_pair.derivative_down(-d), rel=1e-6
+        )
+
+    def test_exp_channel_pair_helper(self):
+        pair = exp_channel_pair(2.0, 1.0)
+        assert pair.delta_min == pytest.approx(1.0, rel=1e-9)
+
+    def test_describe(self, exp_pair):
+        assert "delta_min" in exp_pair.describe()
+
+
+class TestConstruction:
+    def test_from_up_completes_pair(self):
+        up = ExpDelay(1.0, 0.5, 0.5, rising=True)
+        pair = InvolutionPair.from_up(up)
+        reference = InvolutionPair.exp_channel(1.0, 0.5)
+        for T in (-0.4, 0.0, 1.0, 3.0):
+            assert pair.delta_down(T) == pytest.approx(reference.delta_down(T), abs=1e-6)
+        assert pair.delta_min == pytest.approx(0.5, abs=1e-6)
+
+    def test_from_down_completes_pair(self):
+        down = ExpDelay(1.0, 0.5, 0.6, rising=False)
+        pair = InvolutionPair.from_down(down)
+        reference = InvolutionPair.exp_channel(1.0, 0.5, 0.6)
+        for T in (0.0, 1.0):
+            assert pair.delta_up(T) == pytest.approx(reference.delta_up(T), abs=1e-6)
+
+    def test_from_samples(self):
+        base = InvolutionPair.exp_channel(1.0, 0.5)
+        import numpy as np
+
+        T = np.linspace(-0.45, 5.0, 30)
+        pair = InvolutionPair.from_samples(
+            T, [base.delta_up(t) for t in T], T, [base.delta_down(t) for t in T]
+        )
+        assert pair.delta_min == pytest.approx(0.5, abs=0.05)
+
+    def test_from_up_rejects_unbounded_domain(self):
+        with pytest.raises(InvolutionError):
+            InvolutionPair.from_up(ConstantDelay(1.0))
+
+    def test_swapped(self, asymmetric_pair):
+        swapped = asymmetric_pair.swapped()
+        assert swapped.delta_up(1.0) == asymmetric_pair.delta_down(1.0)
+        assert swapped.delta_down(1.0) == asymmetric_pair.delta_up(1.0)
+        assert swapped.delta_min == pytest.approx(asymmetric_pair.delta_min, rel=1e-6)
+
+
+class TestValidation:
+    def test_non_involution_pair_rejected(self):
+        up = ExpDelay(1.0, 0.5, 0.5, rising=True)
+        wrong_down = ExpDelay(2.0, 0.9, 0.5, rising=False)
+        with pytest.raises(InvolutionError):
+            InvolutionPair(up, wrong_down)
+
+    def test_non_strictly_causal_rejected(self):
+        # Shift the delay down so delta(0) <= 0.
+        from repro.core import ShiftedDelay
+
+        up = ShiftedDelay(ExpDelay(1.0, 0.5), shift_delta=-2.0)
+        down = ShiftedDelay(ExpDelay(1.0, 0.5), shift_delta=-2.0)
+        with pytest.raises(InvolutionError):
+            InvolutionPair(up, down)
+
+    def test_validation_can_be_disabled(self):
+        up = ExpDelay(1.0, 0.5, 0.5, rising=True)
+        wrong_down = ExpDelay(2.0, 0.9, 0.5, rising=False)
+        pair = InvolutionPair(up, wrong_down, validate=False)
+        assert pair.involution_residual() > 1e-3
+
+    def test_constant_delay_rejected_as_involution(self):
+        # Pure delays have no finite saturation/pole structure; the validator
+        # must not accept them as involution pairs.
+        with pytest.raises(InvolutionError):
+            InvolutionPair(ConstantDelay(1.0), ConstantDelay(1.0))
+
+    def test_delta_min_mismatch_detected(self):
+        up = ExpDelay(1.0, 0.5, 0.5, rising=True)
+        wrong_down = ExpDelay(1.0, 2.5, 0.5, rising=False)
+        pair = InvolutionPair(up, wrong_down, validate=False)
+        with pytest.raises(InvolutionError):
+            _ = pair.delta_min

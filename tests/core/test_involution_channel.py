@@ -1,0 +1,115 @@
+"""Unit tests for the deterministic involution channel (Fig. 2 behaviour)."""
+
+import math
+
+import pytest
+
+from repro.core import InvolutionChannel, InvolutionPair, Signal
+
+
+class TestSinglePulse:
+    def test_first_transition_delayed_by_delta_inf(self, involution_channel):
+        out = involution_channel(Signal.step(0.0))
+        assert len(out) == 1
+        assert out[0].time == pytest.approx(involution_channel.delta_up_inf)
+
+    def test_long_pulse_propagates(self, involution_channel):
+        out = involution_channel(Signal.pulse(0.0, 5.0))
+        assert len(out) == 2
+        assert out[0].value == 1 and out[1].value == 0
+        assert out[0].time == pytest.approx(involution_channel.delta_up_inf)
+
+    def test_long_pulse_width_approximately_preserved(self, involution_channel):
+        out = involution_channel(Signal.pulse(0.0, 20.0))
+        width = out[1].time - out[0].time
+        assert width == pytest.approx(20.0, abs=1e-6)
+
+    def test_short_pulse_cancelled(self, involution_channel):
+        out = involution_channel(Signal.pulse(0.0, 0.1))
+        assert out.is_zero()
+
+    def test_cancellation_threshold_matches_theory(self, exp_pair):
+        # A single pulse of width Delta_0 is cancelled iff
+        # Delta_0 <= delta_up_inf - delta_min (Lemma 4 with eta = 0).
+        channel = InvolutionChannel(exp_pair)
+        threshold = exp_pair.delta_up_inf - exp_pair.delta_min
+        cancelled = channel(Signal.pulse(0.0, threshold - 1e-6))
+        passed = channel(Signal.pulse(0.0, threshold + 1e-3))
+        assert cancelled.is_zero()
+        assert len(passed) == 2
+
+    def test_pulse_attenuation_is_monotone(self, involution_channel):
+        # Wider input pulses produce wider (or equal) output pulses.
+        widths = [0.75, 0.9, 1.2, 2.0, 4.0]
+        outputs = [involution_channel(Signal.pulse(0.0, w)) for w in widths]
+        out_widths = [o[1].time - o[0].time for o in outputs]
+        assert all(b > a for a, b in zip(out_widths, out_widths[1:]))
+
+    def test_output_pulse_shorter_than_input_pulse(self, involution_channel):
+        out = involution_channel(Signal.pulse(0.0, 1.0))
+        assert (out[1].time - out[0].time) < 1.0
+
+    def test_zero_signal_maps_to_zero(self, involution_channel):
+        assert involution_channel(Signal.zero()).is_zero()
+
+    def test_constant_one_maps_to_constant_one(self, involution_channel):
+        assert involution_channel(Signal.one()) == Signal.one()
+
+
+class TestPulseTrains:
+    def test_fig2_attenuation_and_cancellation(self, involution_channel):
+        # Two pulses: a wide one that survives (attenuated) and a narrow one
+        # that is cancelled -- the scenario of Fig. 2.
+        signal = Signal.pulse_train(0.0, [2.0, 0.4], [2.0])
+        out = involution_channel(signal)
+        pulses = out.pulses()
+        assert len(pulses) == 1
+        assert pulses[0].length < 2.0
+
+    def test_glitch_train_partial_suppression(self, involution_channel):
+        signal = Signal.pulse_train(0.0, [0.5] * 6, [0.5] * 5)
+        out = involution_channel(signal)
+        assert len(out.pulses()) < 6
+
+    def test_inverting_channel(self, exp_pair):
+        channel = InvolutionChannel(exp_pair, inverting=True)
+        out = channel(Signal.pulse(0.0, 5.0))
+        assert out.initial_value == 1
+        assert [t.value for t in out] == [0, 1]
+
+    def test_reference_cancellation_mode_agrees(self, involution_channel):
+        signal = Signal.pulse_train(0.0, [2.0, 0.4, 1.5], [2.0, 1.0])
+        transport = involution_channel.apply(signal, mode="transport")
+        pairwise = involution_channel.apply(signal, mode="pairwise")
+        probes = [0.5 * k for k in range(0, 30)]
+        assert transport.values_at(probes) == pairwise.values_at(probes)
+
+
+class TestChannelProperties:
+    def test_delta_min_exposed(self, involution_channel):
+        assert involution_channel.delta_min == pytest.approx(0.5)
+
+    def test_exp_channel_constructor(self):
+        channel = InvolutionChannel.exp_channel(2.0, 1.0)
+        assert channel.delta_min == pytest.approx(1.0)
+        assert channel.delta_up_inf == pytest.approx(1.0 + 2.0 * math.log(2.0))
+
+    def test_domain_guard_cancels_extreme_glitch(self, exp_pair):
+        channel = InvolutionChannel(exp_pair, guard_domain=True)
+        # A glitch so short after a long stable phase that T leaves the
+        # domain of the delay function: the transition pair must cancel.
+        signal = Signal.from_times([0.0, 100.0, 100.0 + 1e-9])
+        out = channel(signal)
+        # The long rise survives; the glitch does not add transitions.
+        assert out.final_value == 1
+        assert len(out) == 1
+
+    def test_repr(self, involution_channel):
+        assert "InvolutionChannel" in repr(involution_channel)
+
+    def test_output_times_strictly_increasing(self, involution_channel):
+        signal = Signal.pulse_train(0.0, [1.0, 0.8, 1.2, 0.6], [0.7, 0.9, 0.5])
+        out = involution_channel(signal)
+        times = out.transition_times()
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)

@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EtaBound,
+    EtaInvolutionChannel,
+    ExpDelay,
+    InvolutionChannel,
+    InvolutionPair,
+    RandomAdversary,
+    Signal,
+    ZeroAdversary,
+    cancel_non_fifo,
+    cancel_non_fifo_reference,
+    constraint_C_margin,
+    max_eta_minus,
+)
+from repro.core.constraint import max_eta_plus
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+positive_times = st.lists(
+    st.floats(min_value=0.01, max_value=1e3, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=25,
+)
+
+exp_params = st.tuples(
+    st.floats(min_value=0.1, max_value=5.0),  # tau
+    st.floats(min_value=0.05, max_value=3.0),  # t_p
+    st.floats(min_value=0.2, max_value=0.8),  # v_th
+)
+
+output_time_lists = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=30,
+)
+
+
+def signal_from_gaps(gaps):
+    """Build a valid signal from positive inter-transition gaps."""
+    times = []
+    current = 0.0
+    for gap in gaps:
+        current += gap
+        times.append(current)
+    return Signal.from_times(times)
+
+
+# --------------------------------------------------------------------------- #
+# Signal invariants
+# --------------------------------------------------------------------------- #
+
+
+@given(positive_times)
+def test_signal_from_gaps_is_well_formed(gaps):
+    signal = signal_from_gaps(gaps)
+    times = signal.transition_times()
+    assert times == sorted(times)
+    values = [t.value for t in signal]
+    for previous, current in zip([signal.initial_value] + values, values):
+        assert previous != current
+
+
+@given(positive_times)
+def test_signal_double_inversion_is_identity(gaps):
+    signal = signal_from_gaps(gaps)
+    assert signal.inverted().inverted() == signal
+
+
+@given(positive_times, st.floats(min_value=-10, max_value=1000))
+def test_signal_value_at_matches_final_value_after_last_transition(gaps, probe):
+    signal = signal_from_gaps(gaps)
+    last = signal.stabilization_time()
+    if probe >= last:
+        assert signal.value_at(probe) == signal.final_value
+
+
+@given(positive_times)
+def test_pulse_count_is_half_of_transitions(gaps):
+    signal = signal_from_gaps(gaps)
+    pulses = signal.pulses()
+    assert len(pulses) == len(signal) // 2
+
+
+# --------------------------------------------------------------------------- #
+# Cancellation resolvers
+# --------------------------------------------------------------------------- #
+
+
+@given(output_time_lists)
+def test_record_sweep_equals_pairwise_reference(times):
+    assert cancel_non_fifo(times) == cancel_non_fifo_reference(times)
+
+
+@given(output_time_lists)
+def test_record_survivors_are_strictly_increasing(times):
+    cancelled = cancel_non_fifo(times)
+    survivors = [t for t, c in zip(times, cancelled) if not c]
+    assert survivors == sorted(survivors)
+    assert len(set(survivors)) == len(survivors)
+
+
+# --------------------------------------------------------------------------- #
+# Involution property and derived quantities
+# --------------------------------------------------------------------------- #
+
+
+@given(exp_params)
+@settings(max_examples=30, deadline=None)
+def test_exp_pair_satisfies_involution_property(params):
+    tau, t_p, v_th = params
+    pair = InvolutionPair.exp_channel(tau, t_p, v_th)
+    assert pair.involution_residual() < 1e-6
+
+
+@given(exp_params)
+@settings(max_examples=30, deadline=None)
+def test_exp_pair_delta_min_is_pure_delay(params):
+    tau, t_p, v_th = params
+    pair = InvolutionPair.exp_channel(tau, t_p, v_th)
+    assert math.isclose(pair.delta_min, t_p, rel_tol=1e-6)
+
+
+@given(exp_params, st.floats(min_value=0.0, max_value=0.9))
+@settings(max_examples=30, deadline=None)
+def test_constraint_c_dimensioning_is_tight(params, fraction):
+    tau, t_p, v_th = params
+    pair = InvolutionPair.exp_channel(tau, t_p, v_th)
+    eta_plus = fraction * max_eta_plus(pair)
+    supremum = max_eta_minus(pair, eta_plus)
+    below = EtaBound(eta_plus, supremum * 0.999)
+    assert constraint_C_margin(pair, below) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Channel behaviour
+# --------------------------------------------------------------------------- #
+
+
+@given(exp_params, positive_times)
+@settings(max_examples=40, deadline=None)
+def test_involution_channel_output_is_well_formed(params, gaps):
+    tau, t_p, v_th = params
+    channel = InvolutionChannel(InvolutionPair.exp_channel(tau, t_p, v_th))
+    out = channel(signal_from_gaps(gaps))
+    times = out.transition_times()
+    assert times == sorted(times)
+    values = [t.value for t in out]
+    for previous, current in zip([out.initial_value] + values, values):
+        assert previous != current
+
+
+@given(exp_params, positive_times)
+@settings(max_examples=40, deadline=None)
+def test_involution_channel_output_has_no_more_transitions_than_input(params, gaps):
+    tau, t_p, v_th = params
+    channel = InvolutionChannel(InvolutionPair.exp_channel(tau, t_p, v_th))
+    signal = signal_from_gaps(gaps)
+    out = channel(signal)
+    assert len(out) <= len(signal)
+
+
+@given(exp_params, positive_times)
+@settings(max_examples=40, deadline=None)
+def test_involution_channel_preserves_final_value_for_separated_inputs(params, gaps):
+    # If all transitions are far apart (wider than delta_inf), nothing
+    # cancels and the output has exactly the input's transition count.
+    tau, t_p, v_th = params
+    pair = InvolutionPair.exp_channel(tau, t_p, v_th)
+    channel = InvolutionChannel(pair)
+    spacing = 2.0 * max(pair.delta_up_inf, pair.delta_down_inf)
+    times = [spacing * (i + 1) for i in range(len(gaps))]
+    signal = Signal.from_times(times)
+    out = channel(signal)
+    assert len(out) == len(signal)
+    assert out.final_value == signal.final_value
+
+
+@given(exp_params, positive_times, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_eta_channel_with_random_adversary_is_well_formed(params, gaps, seed):
+    tau, t_p, v_th = params
+    pair = InvolutionPair.exp_channel(tau, t_p, v_th)
+    eta_plus = 0.3 * max_eta_plus(pair)
+    eta = EtaBound(eta_plus, max_eta_minus(pair, eta_plus) * 0.9)
+    channel = EtaInvolutionChannel(pair, eta, RandomAdversary(seed=seed))
+    out = channel(signal_from_gaps(gaps))
+    times = out.transition_times()
+    assert times == sorted(times)
+    values = [t.value for t in out]
+    for previous, current in zip([out.initial_value] + values, values):
+        assert previous != current
+
+
+@given(exp_params, positive_times)
+@settings(max_examples=30, deadline=None)
+def test_eta_channel_zero_adversary_equals_involution_channel(params, gaps):
+    tau, t_p, v_th = params
+    pair = InvolutionPair.exp_channel(tau, t_p, v_th)
+    eta = EtaBound(0.05 * t_p, 0.05 * t_p)
+    assume(constraint_C_margin(pair, eta) > 0)
+    signal = signal_from_gaps(gaps)
+    deterministic = InvolutionChannel(pair)(signal)
+    eta_out = EtaInvolutionChannel(pair, eta, ZeroAdversary())(signal)
+    assert deterministic == eta_out
+
+
+@given(
+    st.floats(min_value=0.1, max_value=5.0),
+    st.floats(min_value=0.05, max_value=3.0),
+    st.floats(min_value=0.01, max_value=20.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_single_pulse_cancellation_matches_lemma4_boundary(tau, t_p, width):
+    # With eta = 0, a single input pulse is cancelled iff its width is at
+    # most delta_up_inf - delta_min (Lemma 4 specialised to eta = 0).
+    pair = InvolutionPair.exp_channel(tau, t_p)
+    channel = InvolutionChannel(pair)
+    out = channel(Signal.pulse(0.0, width))
+    threshold = pair.delta_up_inf - pair.delta_min
+    if width < threshold - 1e-9:
+        assert out.is_zero()
+    elif width > threshold + 1e-9:
+        assert len(out) == 2

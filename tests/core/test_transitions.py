@@ -1,0 +1,216 @@
+"""Unit tests for signals and transitions."""
+
+import math
+
+import pytest
+
+from repro.core import Pulse, Signal, SignalError, Transition
+
+
+class TestTransition:
+    def test_rising_and_falling_flags(self):
+        assert Transition(1.0, 1).is_rising
+        assert not Transition(1.0, 1).is_falling
+        assert Transition(2.0, 0).is_falling
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(SignalError):
+            Transition(0.0, 2)
+
+    def test_shifted(self):
+        assert Transition(1.0, 1).shifted(0.5) == Transition(1.5, 1)
+
+    def test_inverted(self):
+        assert Transition(1.0, 1).inverted() == Transition(1.0, 0)
+
+    def test_ordering_by_time(self):
+        assert Transition(1.0, 0) < Transition(2.0, 1)
+
+
+class TestPulse:
+    def test_end_time(self):
+        assert Pulse(1.0, 2.0).end == 3.0
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(SignalError):
+            Pulse(0.0, 0.0)
+        with pytest.raises(SignalError):
+            Pulse(0.0, -1.0)
+
+    def test_to_signal_positive(self):
+        signal = Pulse(1.0, 2.0).to_signal()
+        assert signal.initial_value == 0
+        assert signal.transition_times() == [1.0, 3.0]
+        assert [t.value for t in signal] == [1, 0]
+
+    def test_to_signal_negative_polarity(self):
+        signal = Pulse(1.0, 2.0, polarity=0).to_signal()
+        assert signal.initial_value == 1
+        assert [t.value for t in signal] == [0, 1]
+
+
+class TestSignalConstruction:
+    def test_constant_signals(self):
+        assert Signal.zero().is_zero()
+        assert Signal.one().final_value == 1
+        assert Signal.zero().is_constant()
+
+    def test_step(self):
+        step = Signal.step(2.0)
+        assert step.initial_value == 0
+        assert step.value_at(1.9) == 0
+        assert step.value_at(2.0) == 1
+
+    def test_pulse_constructor(self):
+        pulse = Signal.pulse(1.0, 0.5)
+        assert len(pulse) == 2
+        assert pulse.final_value == 0
+
+    def test_from_times_alternates(self):
+        signal = Signal.from_times([1.0, 2.0, 3.0])
+        assert [t.value for t in signal] == [1, 0, 1]
+
+    def test_from_times_initial_one(self):
+        signal = Signal.from_times([1.0, 2.0], initial_value=1)
+        assert [t.value for t in signal] == [0, 1]
+
+    def test_pulse_train(self):
+        train = Signal.pulse_train(0.0, [1.0, 2.0, 1.0], [0.5, 0.5])
+        assert len(train) == 6
+        ups, downs = train.up_down_times()
+        assert ups == [1.0, 2.0, 1.0]
+        assert downs == [0.5, 0.5]
+
+    def test_pulse_train_empty(self):
+        assert Signal.pulse_train(0.0, [], []).is_zero()
+
+    def test_pulse_train_rejects_bad_downs(self):
+        with pytest.raises(SignalError):
+            Signal.pulse_train(0.0, [1.0, 1.0], [])
+
+    def test_nonmonotonic_times_rejected(self):
+        with pytest.raises(SignalError):
+            Signal(0, [Transition(2.0, 1), Transition(1.0, 0)])
+
+    def test_equal_times_rejected(self):
+        with pytest.raises(SignalError):
+            Signal(0, [Transition(1.0, 1), Transition(1.0, 0)])
+
+    def test_non_alternating_values_rejected(self):
+        with pytest.raises(SignalError):
+            Signal(0, [Transition(1.0, 1), Transition(2.0, 1)])
+
+    def test_first_value_must_differ_from_initial(self):
+        with pytest.raises(SignalError):
+            Signal(1, [Transition(1.0, 1)])
+
+    def test_negative_times_rejected_by_default(self):
+        with pytest.raises(SignalError):
+            Signal(0, [Transition(-1.0, 1)])
+
+    def test_negative_times_allowed_when_requested(self):
+        signal = Signal(0, [Transition(-1.0, 1)], allow_negative_times=True)
+        assert signal.value_at(0.0) == 1
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SignalError):
+            Signal(0, [Transition(math.nan, 1)])
+
+    def test_invalid_initial_value(self):
+        with pytest.raises(SignalError):
+            Signal(2, [])
+
+
+class TestSignalQueries:
+    def test_value_at(self):
+        signal = Signal.from_times([1.0, 2.0, 3.0])
+        assert signal.value_at(0.5) == 0
+        assert signal.value_at(1.0) == 1
+        assert signal.value_at(2.5) == 0
+        assert signal.value_at(10.0) == 1
+
+    def test_values_at(self):
+        signal = Signal.pulse(1.0, 1.0)
+        assert signal.values_at([0.0, 1.5, 3.0]) == [0, 1, 0]
+
+    def test_final_value(self):
+        assert Signal.pulse(0.0, 1.0).final_value == 0
+        assert Signal.step(0.0).final_value == 1
+        assert Signal.zero().final_value == 0
+
+    def test_pulses_positive(self):
+        train = Signal.pulse_train(0.0, [1.0, 2.0], [3.0])
+        pulses = train.pulses()
+        assert [p.length for p in pulses] == [1.0, 2.0]
+        assert [p.start for p in pulses] == [0.0, 4.0]
+
+    def test_pulses_negative_polarity(self):
+        signal = Signal.pulse(1.0, 2.0, polarity=0)
+        pulses = signal.pulses(0)
+        assert len(pulses) == 1
+        assert pulses[0].length == 2.0
+
+    def test_trailing_step_not_a_pulse(self):
+        signal = Signal.step(1.0)
+        assert signal.pulses() == []
+
+    def test_shortest_pulse_length(self):
+        train = Signal.pulse_train(0.0, [1.0, 0.25, 2.0], [1.0, 1.0])
+        assert train.shortest_pulse_length() == 0.25
+        assert Signal.zero().shortest_pulse_length() is None
+
+    def test_contains_pulse_shorter_than(self):
+        train = Signal.pulse_train(0.0, [1.0, 0.25], [1.0])
+        assert train.contains_pulse_shorter_than(0.5)
+        assert not train.contains_pulse_shorter_than(0.2)
+
+    def test_duty_cycles(self):
+        train = Signal.pulse_train(0.0, [1.0, 1.0], [1.0])
+        # First pulse: up 1.0, period 2.0 (rise to rise).
+        assert train.duty_cycles() == [0.5]
+
+    def test_up_down_times(self):
+        train = Signal.pulse_train(2.0, [1.0, 3.0], [0.5])
+        ups, downs = train.up_down_times()
+        assert ups == [1.0, 3.0]
+        assert downs == [0.5]
+
+    def test_stabilization_time(self):
+        assert Signal.zero().stabilization_time() == -math.inf
+        assert Signal.pulse(1.0, 2.0).stabilization_time() == 3.0
+
+
+class TestSignalTransformations:
+    def test_shifted(self):
+        shifted = Signal.pulse(1.0, 1.0).shifted(2.0)
+        assert shifted.transition_times() == [3.0, 4.0]
+
+    def test_inverted(self):
+        inverted = Signal.pulse(1.0, 1.0).inverted()
+        assert inverted.initial_value == 1
+        assert [t.value for t in inverted] == [0, 1]
+        assert inverted.inverted() == Signal.pulse(1.0, 1.0)
+
+    def test_restricted(self):
+        # Transitions at 0, 1, 2, 3.
+        train = Signal.pulse_train(0.0, [1.0, 1.0], [1.0])
+        assert len(train.restricted(2.5)) == 3
+        assert len(train.restricted(1.5)) == 2
+
+    def test_after(self):
+        train = Signal.pulse_train(0.0, [1.0, 1.0], [1.0])
+        later = train.after(2.5)
+        assert later.initial_value == 1
+        assert len(later) == 1
+        assert later.transition_times() == [3.0]
+
+    def test_equality_and_hash(self):
+        a = Signal.pulse(1.0, 1.0)
+        b = Signal.pulse(1.0, 1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Signal.pulse(1.0, 2.0)
+
+    def test_repr_is_compact(self):
+        text = repr(Signal.pulse_train(0.0, [1.0] * 10, [1.0] * 9))
+        assert "..." in text

@@ -1,0 +1,117 @@
+"""Unit tests for delay-function characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.analog import AnalogInverterChain, UMC90
+from repro.core import InvolutionChannel, InvolutionPair, Signal
+from repro.fitting import (
+    CharacterizationDriver,
+    DelayMeasurement,
+    DelaySample,
+    extract_delay_samples,
+)
+
+
+@pytest.fixture(scope="module")
+def measurement() -> DelayMeasurement:
+    chain = AnalogInverterChain(UMC90, stages=3)
+    driver = CharacterizationDriver(chain, stage_index=1)
+    widths = np.concatenate([np.linspace(6.0, 24.0, 14), np.linspace(28.0, 120.0, 10)])
+    return driver.measure(widths, label="unit-test")
+
+
+class TestExtractDelaySamples:
+    def test_ideal_inverter_with_known_delay(self):
+        # Feed a known single-history channel and recover its delay samples.
+        pair = InvolutionPair.exp_channel(1.0, 0.5)
+        channel = InvolutionChannel(pair, inverting=True)
+        signal = Signal.pulse_train(5.0, [3.0, 2.0, 4.0], [3.0, 2.5])
+        output = channel(signal)
+        samples = extract_delay_samples(signal, output)
+        assert len(samples) == len(signal) - 1
+        for sample in samples:
+            delay_fn = pair.delta_up if sample.rising_output else pair.delta_down
+            assert sample.delta == pytest.approx(delay_fn(sample.T), abs=1e-9)
+
+    def test_suppressed_pulse_produces_no_sample(self):
+        pair = InvolutionPair.exp_channel(1.0, 0.5)
+        channel = InvolutionChannel(pair, inverting=True)
+        signal = Signal.pulse_train(5.0, [3.0, 0.1], [3.0])
+        output = channel(signal)
+        samples = extract_delay_samples(signal, output)
+        # The 0.1-wide pulse is filtered: at most the first falling edge of
+        # the wide pulse yields a sample.
+        assert all(s.pulse_width != 0.1 for s in samples)
+
+    def test_empty_output(self):
+        samples = extract_delay_samples(Signal.pulse(0.0, 1.0), Signal.one())
+        assert samples == []
+
+
+class TestDelayMeasurement:
+    def test_polarity_split(self, measurement):
+        T_up, d_up = measurement.rising()
+        T_down, d_down = measurement.falling()
+        assert len(T_up) > 5 and len(T_down) > 5
+        assert len(measurement) == len(T_up) + len(T_down)
+
+    def test_samples_sorted_by_T(self, measurement):
+        T_up, _ = measurement.rising()
+        assert np.all(np.diff(T_up) >= 0)
+
+    def test_delay_curve_is_increasing_in_T(self, measurement):
+        # The physical delay function is increasing; allow small numerical
+        # wiggle from the digitisation grid.
+        T, delta = measurement.falling()
+        coarse = np.interp(
+            np.linspace(T.min(), T.max(), 8), T, delta
+        )
+        assert all(b >= a - 0.05 for a, b in zip(coarse, coarse[1:]))
+
+    def test_to_involution_pair(self, measurement):
+        pair = measurement.to_involution_pair()
+        assert pair.delta_min > 0
+        assert pair.delta_up_inf > pair.delta_min
+
+    def test_to_involution_pair_requires_samples(self):
+        empty = DelayMeasurement()
+        with pytest.raises(ValueError):
+            empty.to_involution_pair()
+
+    def test_add_sample(self):
+        measurement = DelayMeasurement()
+        measurement.add(DelaySample(T=1.0, delta=2.0, rising_output=True, pulse_width=5.0))
+        assert len(measurement) == 1
+
+
+class TestCharacterizationDriver:
+    def test_stage_index_validated(self):
+        chain = AnalogInverterChain(UMC90, stages=2)
+        with pytest.raises(ValueError):
+            CharacterizationDriver(chain, stage_index=5)
+
+    def test_run_pulse_returns_digitised_signals(self):
+        chain = AnalogInverterChain(UMC90, stages=2)
+        driver = CharacterizationDriver(chain, stage_index=0)
+        stage_in, stage_out = driver.run_pulse(60.0)
+        assert len(stage_in) == 2
+        assert len(stage_out) == 2
+        # The stage inverts: input rises first, output falls first.
+        assert stage_in[0].value == 1
+        assert stage_out[0].value == 0
+
+    def test_negative_polarity_pulse(self):
+        chain = AnalogInverterChain(UMC90, stages=2)
+        driver = CharacterizationDriver(chain, stage_index=0)
+        stage_in, stage_out = driver.run_pulse(60.0, polarity=0)
+        assert stage_in.initial_value == 1
+        assert stage_out.initial_value == 0
+
+    def test_measurement_covers_small_T(self, measurement):
+        T_up, _ = measurement.rising()
+        T_down, _ = measurement.falling()
+        smallest = min(T_up.min(), T_down.min())
+        largest = max(T_up.max(), T_down.max())
+        assert smallest < 10.0
+        assert largest > 60.0

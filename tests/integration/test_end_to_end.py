@@ -1,0 +1,159 @@
+"""Integration tests spanning several subsystems.
+
+These tests exercise the full pipelines a downstream user would run:
+analog simulation -> characterisation -> model construction -> circuit
+simulation -> SPF verification, mirroring the paper's methodology end to
+end (at reduced problem sizes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analog import AnalogInverterChain, UMC90
+from repro.circuits import Simulator, fed_back_or, inverter_chain, simulate
+from repro.core import (
+    EtaBound,
+    EtaInvolutionChannel,
+    InvolutionChannel,
+    RandomAdversary,
+    Signal,
+    WorstCaseAdversary,
+    ZeroAdversary,
+    admissible_eta_bound,
+)
+from repro.fitting import CharacterizationDriver, compute_deviations, fit_exp_channel
+from repro.spf import SPFAnalysis, SPFChecker, build_spf_circuit
+
+
+class TestAnalogToModelPipeline:
+    """Characterise the analog substrate and use the result as a channel model."""
+
+    @pytest.fixture(scope="class")
+    def characterised_pair(self):
+        chain = AnalogInverterChain(UMC90, stages=3)
+        driver = CharacterizationDriver(chain, stage_index=1)
+        widths = np.concatenate(
+            [np.linspace(6.0, 24.0, 12), np.linspace(28.0, 120.0, 8)]
+        )
+        measurement = driver.measure(widths)
+        return measurement, measurement.to_involution_pair()
+
+    def test_characterised_pair_is_plausible(self, characterised_pair):
+        _, pair = characterised_pair
+        assert 0.0 < pair.delta_min < pair.delta_up_inf
+        assert pair.delta_up_inf < 50.0  # ps scale
+
+    def test_characterised_channel_filters_glitches_in_circuit(self, characterised_pair):
+        _, pair = characterised_pair
+        factory = lambda: InvolutionChannel(pair)
+        circuit = inverter_chain(4, factory, expose_taps=True)
+        wide = simulate(circuit, {"in": Signal.pulse(0.0, 80.0)}, 600.0)
+        narrow = simulate(circuit, {"in": Signal.pulse(0.0, 4.0)}, 600.0)
+        assert len(wide.output_signals["out"]) == 2
+        assert narrow.output_signals["out"].is_constant()
+
+    def test_exp_fit_of_characterised_stage_predicts_small_T_behaviour(
+        self, characterised_pair
+    ):
+        measurement, pair = characterised_pair
+        fit = fit_exp_channel(measurement)
+        analysis = compute_deviations(
+            measurement, fit.pair(), eta_plus=0.2 * fit.pair().delta_min
+        )
+        assert analysis.coverage(T_max=float(np.percentile(
+            [s.T for s in analysis.samples], 25.0
+        ))) >= 0.75
+
+    def test_spf_analysis_on_characterised_pair(self, characterised_pair):
+        # A small symmetric bound: measured (extrapolated) pairs satisfy the
+        # involution property only approximately, so the maximal eta_minus of
+        # constraint (C) may fall outside the extrapolated delay domain.
+        _, pair = characterised_pair
+        eta = EtaBound.symmetric(0.02 * pair.delta_min)
+        analysis = SPFAnalysis(pair, eta)
+        assert analysis.delta_bound < analysis.delta_min
+        assert analysis.duty_cycle_bound < 1.0
+        assert analysis.cancel_threshold < analysis.delta_tilde_0 < analysis.latch_threshold
+
+
+class TestSPFCircuitEndToEnd:
+    def test_spf_circuit_solves_spf_under_all_adversaries(self, exp_pair, eta_small):
+        circuit = build_spf_circuit(exp_pair, eta_small)
+        checker = SPFChecker(
+            circuit,
+            adversary_factories={
+                "zero": ZeroAdversary,
+                "worst": WorstCaseAdversary,
+                "random": lambda: RandomAdversary(seed=99),
+            },
+            end_time=400.0,
+        )
+        report = checker.check(np.linspace(0.1, 2.0, 10))
+        assert report.solves_spf
+
+    def test_storage_loop_regimes_match_theory_for_random_adversaries(
+        self, exp_pair, eta_small
+    ):
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        for seed in range(5):
+            channel = EtaInvolutionChannel(exp_pair, eta_small, RandomAdversary(seed=seed))
+            circuit = fed_back_or(channel)
+            # Below the cancelled threshold: only the input pulse.
+            execution = Simulator(circuit, max_events=300_000).run(
+                {"i": Signal.pulse(0.0, analysis.cancel_threshold * 0.9)}, 200.0
+            )
+            out = execution.output_signals["or_out"]
+            assert out.final_value == 0
+            assert len(out.pulses()) == 1
+            # Above the latch threshold: a single rising transition.
+            execution = Simulator(circuit, max_events=300_000).run(
+                {"i": Signal.pulse(0.0, analysis.latch_threshold * 1.1)}, 200.0
+            )
+            out = execution.output_signals["or_out"]
+            assert out.final_value == 1
+            assert len(out) == 1
+
+    def test_marginal_pulses_respect_lemma5_bounds(self, exp_pair, eta_small):
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        tolerance = 1e-9
+        for seed in range(8):
+            channel = EtaInvolutionChannel(exp_pair, eta_small, RandomAdversary(seed=seed))
+            circuit = fed_back_or(channel)
+            delta_0 = 0.5 * (analysis.cancel_threshold + analysis.latch_threshold)
+            execution = Simulator(circuit, max_events=300_000).run(
+                {"i": Signal.pulse(0.0, delta_0)}, 300.0
+            )
+            out = execution.output_signals["or_out"]
+            if out.final_value == 1:
+                continue
+            for pulse in out.pulses()[1:]:
+                assert pulse.length <= analysis.delta_bound + tolerance
+
+
+class TestModelInterchangeability:
+    def test_channel_families_share_the_simulator(self, exp_pair, eta_small):
+        """All channel families plug into the same circuit topology."""
+        from repro.core import (
+            DegradationDelayChannel,
+            InertialDelayChannel,
+            PureDelayChannel,
+        )
+
+        factories = {
+            "pure": lambda: PureDelayChannel(1.2),
+            "inertial": lambda: InertialDelayChannel(1.2, 0.5),
+            "ddm": lambda: DegradationDelayChannel(1.2, 1.0),
+            "involution": lambda: InvolutionChannel(exp_pair),
+            "eta": lambda: EtaInvolutionChannel(exp_pair, eta_small, RandomAdversary(seed=1)),
+        }
+        stimulus = Signal.pulse_train(1.0, [2.0, 0.3, 2.0], [1.0, 1.0])
+        final_values = {}
+        for name, factory in factories.items():
+            circuit = inverter_chain(3, factory)
+            execution = simulate(circuit, {"in": stimulus}, 100.0)
+            out = execution.output_signals["out"]
+            final_values[name] = out.final_value
+            times = out.transition_times()
+            assert times == sorted(times)
+        # All models agree on the final (stable) value.
+        assert len(set(final_values.values())) == 1

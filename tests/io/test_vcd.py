@@ -1,0 +1,68 @@
+"""Unit tests for VCD export."""
+
+import io
+
+from repro.circuits import simulate
+from repro.circuits.library import buffer_chain
+from repro.core import PureDelayChannel, Signal
+from repro.io import execution_to_vcd, signals_to_vcd, write_vcd
+from repro.io.vcd import _identifier
+
+
+class TestIdentifiers:
+    def test_unique_for_many_indices(self):
+        identifiers = {_identifier(i) for i in range(2000)}
+        assert len(identifiers) == 2000
+
+    def test_first_identifier(self):
+        assert _identifier(0) == "!"
+
+
+class TestSignalsToVcd:
+    def test_header_and_values(self):
+        text = signals_to_vcd({"a": Signal.pulse(1.0, 2.0)}, comment="unit test")
+        assert "$timescale 1ps $end" in text
+        assert "$var wire 1 ! a $end" in text
+        assert "$dumpvars" in text
+        assert "#1" in text and "#3" in text
+        assert "unit test" in text
+
+    def test_initial_values_dumped(self):
+        text = signals_to_vcd({"a": Signal.one(), "b": Signal.zero()})
+        dump_section = text.split("$dumpvars")[1].split("$end")[0]
+        assert "1!" in dump_section
+        assert '0"' in dump_section
+
+    def test_time_scale_factor(self):
+        text = signals_to_vcd({"a": Signal.step(1.5)}, time_scale_factor=1000)
+        assert "#1500" in text
+
+    def test_write_to_file_object(self):
+        buffer = io.StringIO()
+        write_vcd(buffer, {"a": Signal.step(1.0)})
+        assert "$enddefinitions" in buffer.getvalue()
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "trace.vcd"
+        write_vcd(path, {"a": Signal.step(1.0)})
+        assert path.read_text().startswith("$timescale")
+
+    def test_simultaneous_events_grouped(self):
+        text = signals_to_vcd({"a": Signal.step(2.0), "b": Signal.step(2.0)})
+        assert text.count("#2") == 1
+
+
+class TestExecutionToVcd:
+    def test_includes_node_signals(self):
+        circuit = buffer_chain(2, lambda: PureDelayChannel(1.0))
+        execution = simulate(circuit, {"in": Signal.pulse(1.0, 3.0)}, 20.0)
+        text = execution_to_vcd(execution)
+        assert "buf1" in text and "out" in text
+
+    def test_optionally_includes_edges(self):
+        circuit = buffer_chain(1, lambda: PureDelayChannel(1.0))
+        execution = simulate(circuit, {"in": Signal.pulse(1.0, 3.0)}, 20.0)
+        with_edges = execution_to_vcd(execution, include_edges=True)
+        without_edges = execution_to_vcd(execution, include_edges=False)
+        assert "edge." in with_edges
+        assert "edge." not in without_edges

@@ -1,0 +1,218 @@
+"""Unit tests for the SPF analysis (Lemmas 5-8, Theorem 9)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    EtaBound,
+    EtaInvolutionChannel,
+    InvolutionPair,
+    Signal,
+    WorstCaseAdversary,
+    admissible_eta_bound,
+)
+from repro.circuits import Simulator, fed_back_or
+from repro.spf import SPFAnalysis, SPFRegime
+
+
+@pytest.fixture(scope="module")
+def analysis(exp_pair, eta_small) -> SPFAnalysis:
+    return SPFAnalysis(exp_pair, eta_small)
+
+
+@pytest.fixture(scope="module")
+def analysis_zero_eta(exp_pair) -> SPFAnalysis:
+    return SPFAnalysis(exp_pair, EtaBound.zero())
+
+
+class TestFixedPoint:
+    def test_tau_solves_equation(self, analysis):
+        assert analysis.h(analysis.tau) == pytest.approx(0.0, abs=1e-9)
+
+    def test_tau_within_bracket(self, analysis):
+        tau_0, tau_1 = analysis.tau_bracket()
+        assert tau_0 < analysis.tau < tau_1
+
+    def test_delta_below_delta_min(self, analysis):
+        # Eq. 9 of the paper.
+        assert analysis.delta_bound < analysis.delta_min
+
+    def test_period_equals_tau(self, analysis):
+        assert analysis.period == analysis.tau
+
+    def test_duty_cycle_below_one(self, analysis):
+        # Lemma 6.
+        assert 0.0 < analysis.duty_cycle_bound < 1.0
+
+    def test_duty_cycle_upper_bound_formula(self, analysis):
+        # gamma < delta_min / (delta_min + eta_plus).
+        assert analysis.duty_cycle_bound < analysis.delta_min / (
+            analysis.delta_min + analysis.eta_plus
+        )
+
+    def test_growth_factor_above_one(self, analysis):
+        assert analysis.growth_factor > 1.0
+
+    def test_delta_is_fixed_point_of_worst_case_map(self, analysis):
+        delta = analysis.delta_bound
+        assert analysis.worst_case_map(delta) == pytest.approx(delta, abs=1e-9)
+
+    def test_zero_eta_reduces_to_deterministic_model(self, analysis_zero_eta, exp_pair):
+        # With eta = 0 and the symmetric exp-channel the fixed point is
+        # 2*delta(-tau) = tau and gamma = 1/2.
+        a = analysis_zero_eta
+        assert a.duty_cycle_bound == pytest.approx(0.5, abs=1e-9)
+        assert 2.0 * exp_pair.delta_down(-a.tau) == pytest.approx(a.tau, abs=1e-9)
+
+    def test_constraint_violation_rejected(self, exp_pair):
+        with pytest.raises(ValueError):
+            SPFAnalysis(exp_pair, EtaBound(0.4, 0.4))
+
+    def test_constraint_can_be_skipped(self, exp_pair):
+        analysis = SPFAnalysis(exp_pair, EtaBound(0.4, 0.4), require_constraint=False)
+        assert analysis.eta_plus == 0.4
+
+
+class TestMaps:
+    def test_map_increasing_above_fixed_point(self, analysis):
+        # Lemma 7: f(Delta_1) - Delta >= a * (Delta_1 - Delta) for Delta_1 > Delta.
+        delta = analysis.delta_bound
+        a = analysis.growth_factor
+        for gap in (1e-4, 1e-3, 1e-2, 0.05):
+            delta_1 = delta + gap
+            assert analysis.worst_case_map(delta_1) - delta >= a * gap * (1 - 1e-6)
+
+    def test_map_decreasing_below_fixed_point(self, analysis):
+        delta = analysis.delta_bound
+        for gap in (1e-3, 1e-2, 0.05):
+            assert analysis.worst_case_map(delta - gap) < delta - gap
+
+    def test_first_pulse_map_at_threshold_gives_delta(self, analysis):
+        value = analysis.first_pulse_map(analysis.delta_tilde_0)
+        assert value == pytest.approx(analysis.delta_bound, abs=1e-9)
+
+    def test_delta_tilde_within_marginal_band(self, analysis):
+        assert analysis.cancel_threshold < analysis.delta_tilde_0 < analysis.latch_threshold
+
+    def test_first_pulse_map_lipschitz(self, analysis):
+        # Lemma 8: Delta_1 - Delta >= a * (Delta_0 - Delta_0_tilde).
+        a = analysis.growth_factor
+        threshold = analysis.delta_tilde_0
+        for gap in (1e-4, 1e-3, 1e-2):
+            delta_1 = analysis.first_pulse_map(threshold + gap)
+            assert delta_1 - analysis.delta_bound >= a * gap * (1 - 1e-6)
+
+    def test_worst_case_down_time_positive_at_fixed_point(self, analysis):
+        down = analysis.worst_case_down_time(analysis.delta_bound)
+        assert down == pytest.approx(analysis.period - analysis.delta_bound, abs=1e-9)
+        assert down > 0
+
+
+class TestTheorem9Classification:
+    def test_thresholds_ordered(self, analysis):
+        assert analysis.cancel_threshold < analysis.latch_threshold
+
+    def test_classification(self, analysis):
+        assert analysis.classify(analysis.cancel_threshold * 0.5) == SPFRegime.CANCELLED
+        mid = 0.5 * (analysis.cancel_threshold + analysis.latch_threshold)
+        assert analysis.classify(mid) == SPFRegime.MARGINAL
+        assert analysis.classify(analysis.latch_threshold * 1.1) == SPFRegime.LATCHED
+
+    def test_nonpositive_pulse_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.classify(0.0)
+
+    def test_resolves_to_one(self, analysis):
+        assert analysis.resolves_to_one(analysis.latch_threshold + 0.1)
+        assert not analysis.resolves_to_one(analysis.cancel_threshold * 0.5)
+        assert analysis.resolves_to_one(analysis.delta_tilde_0 + 1e-3)
+        assert not analysis.resolves_to_one(analysis.delta_tilde_0 - 1e-3)
+
+    def test_stabilization_pulses(self, analysis):
+        assert analysis.stabilization_pulses(analysis.latch_threshold + 1.0) == 0.0
+        assert math.isinf(analysis.stabilization_pulses(analysis.cancel_threshold * 0.5))
+        near = analysis.stabilization_pulses(analysis.delta_tilde_0 + 1e-6)
+        far = analysis.stabilization_pulses(analysis.delta_tilde_0 + 1e-2)
+        assert near > far > 0
+
+    def test_stabilization_time_bound_finite_above_threshold(self, analysis):
+        assert math.isfinite(
+            analysis.stabilization_time_bound(analysis.delta_tilde_0 + 1e-3)
+        )
+        assert math.isinf(
+            analysis.stabilization_time_bound(analysis.delta_tilde_0 - 1e-3)
+        )
+
+    def test_summary_keys(self, analysis):
+        summary = analysis.summary()
+        for key in ("tau", "Delta", "gamma", "Delta_0_tilde", "latch_threshold"):
+            assert key in summary
+
+    def test_repr(self, analysis):
+        assert "SPFAnalysis" in repr(analysis)
+
+
+class TestWorstCaseTrain:
+    def test_latched_regime_locks_immediately(self, analysis):
+        train = analysis.worst_case_train(analysis.latch_threshold + 0.1)
+        assert train.outcome == "locked"
+        assert train.pulses == 0
+
+    def test_short_pulse_dies(self, analysis):
+        train = analysis.worst_case_train(analysis.cancel_threshold * 0.5)
+        assert train.outcome == "died"
+
+    def test_above_threshold_locks(self, analysis):
+        train = analysis.worst_case_train(analysis.delta_tilde_0 + 0.01)
+        assert train.outcome == "locked"
+
+    def test_below_threshold_dies(self, analysis):
+        train = analysis.worst_case_train(analysis.delta_tilde_0 - 0.01)
+        assert train.outcome == "died"
+
+    def test_pulse_count_grows_near_threshold(self, analysis):
+        near = analysis.worst_case_train(analysis.delta_tilde_0 + 1e-6)
+        far = analysis.worst_case_train(analysis.delta_tilde_0 + 1e-2)
+        assert near.pulses > far.pulses
+
+    def test_up_times_bounded_by_delta_while_oscillating(self, analysis):
+        train = analysis.worst_case_train(analysis.delta_tilde_0 - 1e-4)
+        # All loop pulses of a dying train stay at or below Delta (Lemma 5).
+        for up in train.up_times[1:]:
+            assert up <= analysis.delta_bound + 1e-9
+
+    def test_invalid_pulse_length_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.worst_case_train(0.0)
+
+
+class TestAgainstSimulation:
+    def test_worst_case_train_matches_event_driven_simulation(self, exp_pair, eta_small):
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        delta_0 = analysis.delta_tilde_0 - 0.02
+        train = analysis.worst_case_train(delta_0)
+
+        channel = EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
+        circuit = fed_back_or(channel)
+        execution = Simulator(circuit, max_events=500_000).run(
+            {"i": Signal.pulse(0.0, delta_0)}, 300.0
+        )
+        out = execution.output_signals["or_out"]
+        simulated_ups = [p.length for p in out.pulses()]
+        assert out.final_value == 0
+        assert len(simulated_ups) == len(train.up_times)
+        for simulated, analytic in zip(simulated_ups, train.up_times):
+            assert simulated == pytest.approx(analytic, abs=1e-6)
+
+    def test_latching_threshold_matches_simulation(self, exp_pair, eta_small):
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        channel_factory = lambda: EtaInvolutionChannel(
+            exp_pair, eta_small, WorstCaseAdversary()
+        )
+        for offset, expected_final in ((0.02, 1), (-0.02, 0)):
+            circuit = fed_back_or(channel_factory())
+            execution = Simulator(circuit, max_events=500_000).run(
+                {"i": Signal.pulse(0.0, analysis.delta_tilde_0 + offset)}, 300.0
+            )
+            assert execution.output_signals["or_out"].final_value == expected_final

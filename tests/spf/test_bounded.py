@@ -1,0 +1,82 @@
+"""Tests for the bounded-time SPF impossibility demonstrators."""
+
+import math
+
+import pytest
+
+from repro.core import WorstCaseAdversary, ZeroAdversary
+from repro.spf import (
+    SPFAnalysis,
+    analytical_stabilization_sweep,
+    critical_pulse_width,
+    find_empirical_threshold,
+    simulated_stabilization_sweep,
+)
+
+
+class TestAnalyticalSweep:
+    def test_pulses_grow_logarithmically(self, exp_pair, eta_small):
+        # Gaps small enough that Delta_0 stays inside the marginal band.
+        gaps = [1e-2, 1e-3, 1e-4, 1e-5]
+        samples = analytical_stabilization_sweep(exp_pair, eta_small, gaps)
+        pulses = [s.pulses for s in samples]
+        assert all(later > earlier for earlier, later in zip(pulses, pulses[1:]))
+        # Logarithmic growth: halving the gap exponent adds a roughly
+        # constant number of pulses.
+        increments = [b - a for a, b in zip(pulses, pulses[1:])]
+        assert max(increments) - min(increments) < 1.5
+
+    def test_stabilization_time_diverges(self, exp_pair, eta_small):
+        samples = analytical_stabilization_sweep(exp_pair, eta_small, [1e-2, 1e-6, 1e-10])
+        times = [s.stabilization_time for s in samples]
+        assert times[0] < times[1] < times[2]
+        assert all(math.isfinite(t) for t in times)
+
+    def test_nonpositive_gap_rejected(self, exp_pair, eta_small):
+        with pytest.raises(ValueError):
+            analytical_stabilization_sweep(exp_pair, eta_small, [0.0])
+
+    def test_critical_pulse_width_helper(self, exp_pair, eta_small):
+        assert critical_pulse_width(exp_pair, eta_small) == pytest.approx(
+            SPFAnalysis(exp_pair, eta_small).delta_tilde_0
+        )
+
+
+class TestSimulatedSweep:
+    def test_stabilization_time_grows_towards_threshold(self, exp_pair, eta_small):
+        samples = simulated_stabilization_sweep(
+            exp_pair,
+            eta_small,
+            gaps=[3e-2, 3e-3, 3e-4],
+            adversary_factory=WorstCaseAdversary,
+            end_time=400.0,
+        )
+        assert all(s.final_value == 1 for s in samples)
+        times = [s.stabilization_time for s in samples]
+        assert times[0] < times[-1]
+
+    def test_pulse_counts_match_analysis(self, exp_pair, eta_small):
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        samples = simulated_stabilization_sweep(
+            exp_pair, eta_small, gaps=[1e-2], adversary_factory=WorstCaseAdversary
+        )
+        analytic_bound = analysis.stabilization_pulses(analysis.delta_tilde_0 + 1e-2)
+        assert samples[0].pulses <= analytic_bound + 1
+
+
+class TestEmpiricalThreshold:
+    def test_worst_case_threshold_matches_lemma8(self, exp_pair, eta_small):
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        threshold = find_empirical_threshold(
+            exp_pair, eta_small, WorstCaseAdversary, iterations=30
+        )
+        assert threshold == pytest.approx(analysis.delta_tilde_0, abs=1e-3)
+
+    def test_zero_adversary_threshold_is_smaller(self, exp_pair, eta_small):
+        worst = find_empirical_threshold(
+            exp_pair, eta_small, WorstCaseAdversary, iterations=25
+        )
+        zero = find_empirical_threshold(
+            exp_pair, eta_small, ZeroAdversary, iterations=25
+        )
+        assert zero < worst

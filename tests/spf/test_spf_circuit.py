@@ -1,0 +1,161 @@
+"""Unit tests for the SPF circuit (Fig. 5) and buffer dimensioning."""
+
+import pytest
+
+from repro.core import (
+    EtaBound,
+    RandomAdversary,
+    Signal,
+    WorstCaseAdversary,
+    ZeroAdversary,
+)
+from repro.circuits import Simulator
+from repro.spf import (
+    SPFAnalysis,
+    SPFChecker,
+    build_spf_circuit,
+    design_high_threshold_buffer,
+)
+
+
+class TestBufferDesign:
+    def test_threshold_above_duty_cycle_capacity(self, exp_pair, eta_small):
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        design = design_high_threshold_buffer(analysis)
+        assert analysis.duty_cycle_bound < design.gamma_capacity < design.v_th < 1.0
+
+    def test_channel_instantiation(self, exp_pair, eta_small):
+        design = design_high_threshold_buffer(SPFAnalysis(exp_pair, eta_small))
+        channel = design.channel()
+        assert channel.pair.delta_up(0.0) > 0
+
+    def test_buffer_filters_worst_case_pulse_train(self, exp_pair, eta_small):
+        # Lemma 10/11: a pulse train with duty cycle <= gamma and bounded
+        # pulse lengths maps to the zero signal.
+        analysis = SPFAnalysis(exp_pair, eta_small)
+        design = design_high_threshold_buffer(SPFAnalysis(exp_pair, eta_small))
+        channel = design.channel()
+        delta = analysis.delta_bound
+        period = analysis.period
+        train = Signal.pulse_train(
+            0.0, [delta] * 40, [period - delta] * 39
+        )
+        assert channel(train).is_zero()
+
+    def test_buffer_passes_long_high_phase(self, exp_pair, eta_small):
+        design = design_high_threshold_buffer(SPFAnalysis(exp_pair, eta_small))
+        channel = design.channel()
+        out = channel(Signal.step(0.0))
+        assert out.final_value == 1
+
+    def test_invalid_margin_rejected(self, exp_pair, eta_small):
+        with pytest.raises(ValueError):
+            design_high_threshold_buffer(SPFAnalysis(exp_pair, eta_small), margin=0.0)
+
+
+class TestSPFCircuit:
+    def test_structure(self, exp_pair, eta_small):
+        circuit = build_spf_circuit(exp_pair, eta_small)
+        circuit.validate()
+        assert len(circuit.input_ports()) == 1
+        assert circuit.has_feedback()
+
+    def test_long_pulse_produces_single_rising_output(self, exp_pair, eta_small):
+        circuit = build_spf_circuit(exp_pair, eta_small, WorstCaseAdversary())
+        execution = Simulator(circuit, max_events=500_000).run(
+            {"i": Signal.pulse(0.0, 5.0)}, 400.0
+        )
+        out = execution.output_signals["o"]
+        assert out.final_value == 1
+        assert len(out) == 1
+
+    def test_short_pulse_produces_zero_output(self, exp_pair, eta_small):
+        circuit = build_spf_circuit(exp_pair, eta_small, WorstCaseAdversary())
+        execution = Simulator(circuit, max_events=500_000).run(
+            {"i": Signal.pulse(0.0, 0.1)}, 400.0
+        )
+        assert execution.output_signals["o"].is_zero()
+
+    def test_zero_input_produces_zero_output(self, exp_pair, eta_small):
+        circuit = build_spf_circuit(exp_pair, eta_small, RandomAdversary(seed=5))
+        execution = Simulator(circuit, max_events=500_000).run(
+            {"i": Signal.zero()}, 200.0
+        )
+        assert execution.output_signals["o"].is_zero()
+
+
+class TestSPFChecker:
+    @pytest.fixture(scope="class")
+    def report(self, exp_pair, eta_small):
+        import numpy as np
+
+        circuit = build_spf_circuit(exp_pair, eta_small)
+        checker = SPFChecker(
+            circuit,
+            adversary_factories={
+                "zero": ZeroAdversary,
+                "worst": WorstCaseAdversary,
+                "random": lambda: RandomAdversary(seed=17),
+            },
+            end_time=400.0,
+        )
+        widths = np.concatenate(
+            [np.linspace(0.05, 1.3, 12), np.linspace(1.4, 3.0, 4)]
+        )
+        return checker.check(widths)
+
+    def test_all_spf_conditions_hold(self, report):
+        assert report.well_formed
+        assert report.no_generation
+        assert report.nontrivial
+        assert report.no_short_pulses
+        assert report.solves_spf
+
+    def test_outputs_are_clean(self, report):
+        # Every observed output is either constant 0 or a single rising
+        # transition: no output pulses at all (epsilon is unconstrained).
+        for obs in report.observations:
+            assert len(obs.output) <= 1
+
+    def test_summary_structure(self, report):
+        summary = report.summary()
+        assert summary["F1_well_formed"] is True
+        assert summary["observations"] == len(report.observations)
+
+    def test_stabilization_time_recorded(self, report):
+        assert report.max_stabilization_time > 0
+
+
+class TestSPFCheckerNegative:
+    def test_detects_f2_violation(self, exp_pair, eta_small):
+        # A circuit whose output port is driven by a constant-1 gate violates
+        # "no generation".
+        from repro.circuits import BUF, Circuit
+        from repro.circuits.gates import GateType
+
+        const_one = GateType("ONE", 1, lambda v: 1)
+        circuit = Circuit("bad")
+        circuit.add_input("i")
+        circuit.add_gate("g", const_one, initial_value=1)
+        circuit.add_output("o")
+        circuit.connect("i", "g", pin=0)
+        circuit.connect("g", "o")
+        checker = SPFChecker(circuit, end_time=50.0)
+        assert not checker.check([1.0]).no_generation
+
+    def test_detects_f4_violation_with_pure_delay_chain(self):
+        # A pure-delay buffer propagates arbitrarily short pulses, so the
+        # observed epsilon shrinks with the narrowest probe pulse.
+        from repro.circuits import BUF, Circuit
+        from repro.core import PureDelayChannel
+
+        circuit = Circuit("pure")
+        circuit.add_input("i")
+        circuit.add_gate("g", BUF, initial_value=0)
+        circuit.add_output("o")
+        circuit.connect("i", "g", PureDelayChannel(1.0), pin=0)
+        circuit.connect("g", "o")
+        checker = SPFChecker(circuit, end_time=50.0, epsilon_threshold=0.01)
+        report = checker.check([0.005, 0.5, 1.0])
+        assert not report.no_short_pulses
+        assert not report.solves_spf
