@@ -4,6 +4,9 @@ The package is organised as follows:
 
 * :mod:`repro.core` -- signals, involution delay functions, the
   eta-involution channel (the paper's contribution) and baseline channels.
+* :mod:`repro.engine` -- the unified simulation engine: the shared channel
+  kernel (tentative delays + transport cancellation), the event scheduler,
+  and the batched sweep runner (:func:`repro.engine.run_many`).
 * :mod:`repro.circuits` -- gates, circuit graphs and the event-driven
   simulator used to execute circuits built from these channels.
 * :mod:`repro.spf` -- the Short-Pulse Filtration problem, the fed-back-OR

@@ -12,6 +12,8 @@ from .variations import (
     RandomPhaseSineSupply,
     SineSupplyNoise,
     SupplyProfile,
+    VariationScenario,
+    standard_variations,
     width_variation,
 )
 from .waveform import Waveform, digitize, threshold_crossings
@@ -31,4 +33,6 @@ __all__ = [
     "SineSupplyNoise",
     "RandomPhaseSineSupply",
     "width_variation",
+    "VariationScenario",
+    "standard_variations",
 ]

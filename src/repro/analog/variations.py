@@ -11,13 +11,18 @@ Section V of the paper probes three sources of modeling error:
 This module models (a) and (b): :class:`SupplyProfile` implementations turn
 a nominal V_DD into a time-varying supply seen by the analog inverter
 chain, and :func:`width_variation` produces the scaled technologies.
+
+:class:`VariationScenario` bundles one such operating condition
+(technology + supply) into a sweepable unit; :func:`standard_variations`
+produces the three conditions of Fig. 8, which the experiment drivers fan
+out over :func:`repro.engine.sweep.sweep_map`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +34,8 @@ __all__ = [
     "SineSupplyNoise",
     "RandomPhaseSineSupply",
     "width_variation",
+    "VariationScenario",
+    "standard_variations",
 ]
 
 
@@ -114,3 +121,66 @@ class RandomPhaseSineSupply:
 def width_variation(technology: Technology, percent: float) -> Technology:
     """Technology with transistor widths changed by ``percent`` (e.g. +10, -10)."""
     return technology.with_width(1.0 + percent / 100.0)
+
+
+@dataclass
+class VariationScenario:
+    """One operating-condition point of a variation sweep.
+
+    Attributes
+    ----------
+    name:
+        Scenario label (``supply_1pct``, ``width_plus10``, ...).
+    technology:
+        The (possibly width-scaled) technology to build the chain from.
+    supply:
+        Supply profile for the characterisation driver -- a
+        :class:`SupplyProfile`, a factory with a ``sample()`` method (drawn
+        anew per pulse, e.g. :class:`RandomPhaseSineSupply`), or ``None``
+        for the constant nominal supply.
+    """
+
+    name: str
+    technology: Technology
+    supply: Optional[object] = None
+
+
+def standard_variations(
+    technology: Technology,
+    *,
+    supply_amplitude: float = 0.01,
+    sine_period: Optional[float] = None,
+    width_percents: Sequence[float] = (+10.0, -10.0),
+    seed: Optional[int] = None,
+) -> List[VariationScenario]:
+    """The variation scenarios of Fig. 8 as a sweepable family.
+
+    Returns the 1 % random-phase supply ripple plus one width-scaled
+    technology per entry of ``width_percents``.  ``sine_period`` defaults
+    to twice the full-range switching time of the nominal inverter, the
+    paper's "period similar to the switching time".
+    """
+    if sine_period is None:
+        sine_period = 2.0 * (
+            technology.intrinsic_delay
+            + technology.tau_pull_up(technology.vdd_nominal)
+            + technology.tau_pull_down(technology.vdd_nominal)
+        )
+    scenarios = [
+        VariationScenario(
+            name="supply_1pct",
+            technology=technology,
+            supply=RandomPhaseSineSupply(
+                technology.vdd_nominal, supply_amplitude, sine_period, seed=seed
+            ),
+        )
+    ]
+    for percent in width_percents:
+        sign = "plus" if percent >= 0 else "minus"
+        scenarios.append(
+            VariationScenario(
+                name=f"width_{sign}{abs(percent):g}",
+                technology=width_variation(technology, percent),
+            )
+        )
+    return scenarios

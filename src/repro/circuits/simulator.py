@@ -4,117 +4,38 @@ An *execution* of a circuit assigns a signal to every node (gate/port
 output) and every edge (channel output) such that channel functions, gate
 functions and initial values are respected.  Because circuits may contain
 feedback loops (e.g. the SPF storage loop of Fig. 5), executions cannot be
-computed by evaluating channel functions in topological order; instead this
-module provides a discrete-event simulator with the usual structure:
+computed by evaluating channel functions in topological order; instead they
+are computed by the discrete-event engine in :mod:`repro.engine.scheduler`:
 
 * input-port transitions are the primary events,
 * gates switch in zero time when any of their inputs changes,
 * every gate-output transition entering a channel schedules a tentative
   output transition after the channel's delay ``delta(T) (+ eta)``,
 * a newly scheduled channel output cancels still-pending outputs of the
-  same channel at later-or-equal times (transport cancellation, matching
-  the offline algorithm in :mod:`repro.core.channel`), and no-change
-  deliveries are suppressed.
+  same channel at later-or-equal times (transport cancellation, the same
+  :class:`~repro.engine.kernel.ChannelKernel` as the offline algorithm in
+  :mod:`repro.core.channel`), and no-change deliveries are suppressed.
 
-The simulator supports any :class:`~repro.core.channel.Channel` subclass,
-including :class:`~repro.core.eta_channel.EtaInvolutionChannel` with an
-arbitrary adversary per channel, which realises the adversarial choice of
-the admissible parameter ``H`` in the paper's definition of an execution.
+This module is the stable public API: :class:`Simulator` and
+:func:`simulate` are thin wrappers that validate/precompute the circuit
+once (a :class:`~repro.engine.scheduler.CircuitTopology`) and delegate to
+the :class:`~repro.engine.scheduler.Engine`.  The engine supports any
+:class:`~repro.core.channel.Channel` subclass, including
+:class:`~repro.core.eta_channel.EtaInvolutionChannel` with an arbitrary
+adversary per channel, which realises the adversarial choice of the
+admissible parameter ``H`` in the paper's definition of an execution.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
-from ..core.channel import Channel, ZeroDelayChannel
-from ..core.transitions import Signal, Transition
-from .circuit import Circuit, Edge, GateInstance, InputPort, OutputPort
+from ..core.transitions import Signal
+from ..engine.errors import CausalityError, SimulationError
+from ..engine.scheduler import CircuitTopology, Engine, Execution
+from .circuit import Circuit
 
 __all__ = ["SimulationError", "CausalityError", "Execution", "Simulator", "simulate"]
-
-
-class SimulationError(RuntimeError):
-    """Raised for runtime simulation problems (runaway loops, bad inputs)."""
-
-
-class CausalityError(SimulationError):
-    """Raised when a channel schedules an output before already-delivered ones.
-
-    This cannot happen for the circuits analysed in the paper (the offending
-    transition would have cancelled a still-pending predecessor); it can be
-    triggered by exotic channels or very large eta bounds.  The simulator's
-    ``on_causality`` policy can be set to ``"drop"`` to silently discard such
-    transitions instead (mimicking what an HDL simulator would do).
-    """
-
-
-@dataclass
-class Execution:
-    """The result of simulating a circuit.
-
-    Attributes
-    ----------
-    circuit:
-        The simulated circuit.
-    node_signals:
-        Signal produced at every node output (gate outputs, input ports).
-    edge_signals:
-        Signal at every channel output, keyed by edge name.
-    output_signals:
-        Convenience view: signal arriving at each output port.
-    end_time:
-        The simulation horizon that was used.
-    event_count:
-        Number of processed events (a simulator-performance metric).
-    dropped_transitions:
-        Number of transitions discarded by the ``on_causality="drop"`` policy.
-    """
-
-    circuit: Circuit
-    node_signals: Dict[str, Signal]
-    edge_signals: Dict[str, Signal]
-    output_signals: Dict[str, Signal]
-    end_time: float
-    event_count: int
-    dropped_transitions: int = 0
-
-    def output(self, name: Optional[str] = None) -> Signal:
-        """Signal at the given output port (or the unique one if unnamed)."""
-        if name is None:
-            if len(self.output_signals) != 1:
-                raise SimulationError(
-                    "circuit has several output ports; specify which one"
-                )
-            return next(iter(self.output_signals.values()))
-        return self.output_signals[name]
-
-    def node(self, name: str) -> Signal:
-        """Signal at the given node output."""
-        return self.node_signals[name]
-
-    def edge(self, name: str) -> Signal:
-        """Signal at the given channel output."""
-        return self.edge_signals[name]
-
-
-@dataclass
-class _EdgeState:
-    """Per-channel bookkeeping during simulation."""
-
-    edge: Edge
-    last_input_time: float = -math.inf
-    last_delay: float = 0.0
-    last_input_value: int = 0
-    transition_count: int = 0
-    delivered_value: int = 0
-    last_delivered_time: float = -math.inf
-    pending: List[Tuple[float, int, int]] = field(default_factory=list)  # (time, value, id)
-    delivered: List[Transition] = field(default_factory=list)
-    cancelled_ids: set = field(default_factory=set)
 
 
 class Simulator:
@@ -147,8 +68,6 @@ class Simulator:
         self.on_causality = on_causality
         self.max_events = int(max_events)
 
-    # ------------------------------------------------------------------ #
-
     def run(self, inputs: Dict[str, Signal], end_time: float) -> Execution:
         """Simulate the circuit for the given input-port signals.
 
@@ -156,308 +75,19 @@ class Simulator:
         after ``end_time`` are ignored and channel outputs scheduled after
         ``end_time`` are not delivered (the returned signals are exact up
         to ``end_time``).
+
+        The topology snapshot is taken per run (matching the seed
+        simulator, which read the live circuit structure inside ``run``);
+        callers that want the snapshot amortised across runs use
+        :class:`~repro.engine.scheduler.Engine` or the sweep runner
+        directly.
         """
-        circuit = self.circuit
-        input_ports = {p.name for p in circuit.input_ports()}
-        missing = input_ports - set(inputs)
-        if missing:
-            raise SimulationError(f"missing input signals for ports {sorted(missing)}")
-        unknown = set(inputs) - input_ports
-        if unknown:
-            raise SimulationError(f"signals given for unknown ports {sorted(unknown)}")
-
-        # --- initial values ------------------------------------------------
-        node_values: Dict[str, int] = {}
-        node_transitions: Dict[str, List[Transition]] = {}
-        for name, node in circuit.nodes.items():
-            if isinstance(node, InputPort):
-                node_values[name] = inputs[name].initial_value
-            elif isinstance(node, GateInstance):
-                node_values[name] = node.initial_value
-            else:  # OutputPort: value defined by its driving channel below
-                node_values[name] = 0
-            node_transitions[name] = []
-
-        edge_states: Dict[str, _EdgeState] = {}
-        for ename, edge in circuit.edges.items():
-            src_value = node_values[edge.source]
-            state = _EdgeState(edge=edge)
-            state.last_input_value = src_value
-            state.delivered_value = edge.channel.output_initial_value(src_value)
-            edge.channel.reset()
-            edge_states[ename] = state
-        for name, node in circuit.nodes.items():
-            if isinstance(node, OutputPort):
-                driver = circuit.edges_into(name)[0]
-                node_values[name] = edge_states[driver.name].delivered_value
-
-        # Gate input views: pin -> delivered value of the driving edge.
-        gate_inputs: Dict[str, List[str]] = {}
-        for gate in circuit.gates():
-            gate_inputs[gate.name] = [e.name for e in circuit.edges_into(gate.name)]
-
-        # --- event queue ----------------------------------------------------
-        counter = itertools.count()
-        queue: List[Tuple[float, int, str, object]] = []
-
-        def push(time: float, kind: str, payload: object) -> None:
-            heapq.heappush(queue, (time, next(counter), kind, payload))
-
-        for pname in input_ports:
-            for tr in inputs[pname]:
-                if tr.time <= end_time:
-                    push(tr.time, "port", (pname, tr.value))
-
-        event_count = 0
-        dropped = 0
-
-        # --- helpers ---------------------------------------------------------
-
-        def schedule_channel_input(ename: str, time: float, value: int) -> None:
-            """Feed one input transition into a channel and schedule its output."""
-            nonlocal dropped
-            state = edge_states[ename]
-            if value == state.last_input_value:
-                return
-            channel = state.edge.channel
-            if math.isinf(state.last_input_time):
-                T = math.inf
-            else:
-                T = time - state.last_input_time - state.last_delay
-            out_value = (1 - value) if channel.inverting else value
-            rising_output = out_value == 1
-            delay = channel.delay_for(T, rising_output, state.transition_count, time)
-            out_time = time + delay
-            state.last_input_time = time
-            state.last_delay = delay
-            state.last_input_value = value
-            state.transition_count += 1
-
-            # Transport cancellation: remove still-pending outputs at >= out_time.
-            kept: List[Tuple[float, int, int]] = []
-            for (p_time, p_value, p_id) in state.pending:
-                if p_time >= out_time:
-                    state.cancelled_ids.add(p_id)
-                else:
-                    kept.append((p_time, p_value, p_id))
-            state.pending = kept
-
-            # Inertial pulse rejection: an output pulse narrower than the
-            # channel's rejection window is removed entirely (both its
-            # transitions), matching the offline remove_short_pulses filter.
-            window = channel.rejection_window()
-            if (
-                window > 0.0
-                and state.pending
-                and out_time - state.pending[-1][0] < window
-            ):
-                _, _, previous_id = state.pending.pop()
-                state.cancelled_ids.add(previous_id)
-                return
-
-            if not math.isfinite(out_time):
-                # Domain-guard case (delta = -inf): the transition cancels
-                # everything pending (done above) and is itself dropped.
-                return
-            if out_time <= state.last_delivered_time:
-                if out_value == state.delivered_value:
-                    # All pending transitions at later-or-equal times were just
-                    # cancelled and the remaining scheduled value already equals
-                    # this transition's value, so it is a no-change transition;
-                    # suppressing it matches the offline transport resolution.
-                    return
-                if self.on_causality == "error":
-                    raise CausalityError(
-                        f"channel {ename!r} scheduled an output at {out_time:g} "
-                        f"but already delivered one at {state.last_delivered_time:g}"
-                    )
-                dropped += 1
-                return
-            event_id = next(counter)
-            state.pending.append((out_time, out_value, event_id))
-            if out_time <= end_time:
-                push(out_time, "deliver", (ename, out_value, event_id))
-
-        def deliver(ename: str, value: int, event_id: int, time: float) -> bool:
-            """Deliver a channel output transition to its target node."""
-            state = edge_states[ename]
-            if event_id in state.cancelled_ids:
-                state.cancelled_ids.discard(event_id)
-                return False
-            state.pending = [(t, v, i) for (t, v, i) in state.pending if i != event_id]
-            if value == state.delivered_value:
-                return False
-            state.delivered_value = value
-            state.last_delivered_time = time
-            state.delivered.append(Transition(time, value))
-            return True
-
-        def record_node_transition(nname: str, time: float, value: int) -> None:
-            """Record a node-output transition, collapsing zero-width glitches.
-
-            Two transitions of a node at exactly the same time form a
-            zero-width glitch (the value reverts within the same instant);
-            both are removed, keeping the recorded signal well formed.
-            """
-            transitions = node_transitions[nname]
-            if transitions and transitions[-1].time == time:
-                transitions.pop()
-            else:
-                transitions.append(Transition(time, value))
-
-        def evaluate_gate(gname: str, time: float) -> bool:
-            """Re-evaluate a gate; record and return True if its output changed."""
-            gate = circuit.node(gname)
-            assert isinstance(gate, GateInstance)
-            values = [edge_states[e].delivered_value for e in gate_inputs[gname]]
-            new_value = gate.gate_type.evaluate(values)
-            if new_value == node_values[gname]:
-                return False
-            node_values[gname] = new_value
-            record_node_transition(gname, time, new_value)
-            return True
-
-        # --- settle gates at time 0 ------------------------------------------
-        # Gate initial values may be inconsistent with their input initial
-        # values; the execution then has the gate switching at time 0.
-        settle_changed = [g.name for g in circuit.gates()]
-        if settle_changed:
-            push(0.0, "settle", tuple(settle_changed))
-
-        # --- main loop ---------------------------------------------------------
-        while queue:
-            time, _, kind, payload = heapq.heappop(queue)
-            if time > end_time:
-                break
-            # Collect every event scheduled for exactly this time so that
-            # gates see all their same-time input changes at once (delta
-            # cycle semantics) instead of producing zero-time glitches.
-            batch = [(kind, payload)]
-            while queue and queue[0][0] == time:
-                _, _, more_kind, more_payload = heapq.heappop(queue)
-                batch.append((more_kind, more_payload))
-            event_count += len(batch)
-            if event_count > self.max_events:
-                raise SimulationError(
-                    f"exceeded max_events={self.max_events}; "
-                    "the circuit may be oscillating (raise the limit or shorten end_time)"
-                )
-
-            changed_nodes: List[str] = []
-            gates_to_evaluate: List[str] = []
-            for batch_kind, batch_payload in batch:
-                if batch_kind == "port":
-                    pname, value = batch_payload
-                    if node_values[pname] != value:
-                        node_values[pname] = value
-                        record_node_transition(pname, time, value)
-                        changed_nodes.append(pname)
-                elif batch_kind == "deliver":
-                    ename, value, event_id = batch_payload
-                    if deliver(ename, value, event_id, time):
-                        target = edge_states[ename].edge.target
-                        target_node = circuit.node(target)
-                        if isinstance(target_node, GateInstance):
-                            if target not in gates_to_evaluate:
-                                gates_to_evaluate.append(target)
-                        elif isinstance(target_node, OutputPort):
-                            node_values[target] = value
-                            record_node_transition(target, time, value)
-                elif batch_kind == "settle":
-                    for gname in batch_payload:
-                        if gname not in gates_to_evaluate:
-                            gates_to_evaluate.append(gname)
-                else:  # pragma: no cover - defensive
-                    raise SimulationError(f"unknown event kind {batch_kind!r}")
-            for gname in gates_to_evaluate:
-                if evaluate_gate(gname, time):
-                    changed_nodes.append(gname)
-
-            # Zero-time propagation of changed node outputs into their channels.
-            # Zero-delay channels deliver immediately (delta cycles); bounded
-            # to avoid infinite combinational loops.
-            delta_cycles = 0
-            while changed_nodes:
-                delta_cycles += 1
-                if delta_cycles > 10_000:
-                    raise SimulationError(
-                        "combinational (zero-delay) loop detected at "
-                        f"time {time:g}"
-                    )
-                affected_gates: List[str] = []
-                direct_outputs: List[str] = []
-                for nname in changed_nodes:
-                    for edge in circuit.edges_from(nname):
-                        state = edge_states[edge.name]
-                        value = node_values[nname]
-                        if isinstance(edge.channel, ZeroDelayChannel):
-                            out_value = (
-                                1 - value if edge.channel.inverting else value
-                            )
-                            state.last_input_value = value
-                            if out_value == state.delivered_value:
-                                continue
-                            state.delivered_value = out_value
-                            state.last_delivered_time = time
-                            if state.delivered and state.delivered[-1].time == time:
-                                state.delivered.pop()
-                            else:
-                                state.delivered.append(Transition(time, out_value))
-                            target_node = circuit.node(edge.target)
-                            if isinstance(target_node, GateInstance):
-                                if edge.target not in affected_gates:
-                                    affected_gates.append(edge.target)
-                            elif isinstance(target_node, OutputPort):
-                                node_values[edge.target] = out_value
-                                record_node_transition(edge.target, time, out_value)
-                        else:
-                            schedule_channel_input(edge.name, time, value)
-                next_changed: List[str] = []
-                for gname in affected_gates:
-                    if evaluate_gate(gname, time):
-                        next_changed.append(gname)
-                changed_nodes = next_changed
-
-        # --- assemble the execution ------------------------------------------
-        node_signals: Dict[str, Signal] = {}
-        for name, node in circuit.nodes.items():
-            if isinstance(node, InputPort):
-                initial = inputs[name].initial_value
-            elif isinstance(node, GateInstance):
-                initial = node.initial_value
-            else:
-                driver = circuit.edges_into(name)[0]
-                src = circuit.node(driver.source)
-                if isinstance(src, GateInstance):
-                    src_initial = src.initial_value
-                else:
-                    src_initial = inputs[driver.source].initial_value
-                initial = driver.channel.output_initial_value(src_initial)
-            node_signals[name] = Signal(
-                initial, node_transitions[name], allow_negative_times=True
-            )
-        edge_signals = {
-            ename: Signal(
-                state.edge.channel.output_initial_value(
-                    node_signals[state.edge.source].initial_value
-                ),
-                state.delivered,
-                allow_negative_times=True,
-            )
-            for ename, state in edge_states.items()
-        }
-        output_signals = {
-            port.name: node_signals[port.name] for port in circuit.output_ports()
-        }
-        return Execution(
-            circuit=circuit,
-            node_signals=node_signals,
-            edge_signals=edge_signals,
-            output_signals=output_signals,
-            end_time=end_time,
-            event_count=event_count,
-            dropped_transitions=dropped,
+        engine = Engine(
+            CircuitTopology(self.circuit),
+            on_causality=self.on_causality,
+            max_events=self.max_events,
         )
+        return engine.run(inputs, end_time)
 
 
 def simulate(

@@ -186,18 +186,30 @@ class RandomAdversary(Adversary):
         self._seed = seed
         self.distribution = distribution
         self.sigma_fraction = float(sigma_fraction)
-        self._rng = np.random.default_rng(seed)
+        # The generator is created lazily on the first draw: every channel
+        # is reset at the start of every simulation run, but in large
+        # circuits most channels never see a transition, and generator
+        # construction (~10 us each) would dominate the engine's per-run
+        # setup cost.
+        self._rng: Optional[np.random.Generator] = None
 
     def reset(self) -> None:
-        self._rng = np.random.default_rng(self._seed)
+        self._rng = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying generator (re-seeded lazily after every reset)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(self._seed)
+        return self._rng
 
     def choose(self, index: int, time: float, rising: bool, T: float, bound: EtaBound) -> float:
         if self.distribution == "uniform":
-            return float(self._rng.uniform(-bound.eta_minus, bound.eta_plus))
+            return float(self.rng.uniform(-bound.eta_minus, bound.eta_plus))
         sigma = self.sigma_fraction * bound.width / 2.0
         if sigma == 0.0:
             return 0.0
-        return bound.clip(float(self._rng.normal(0.0, sigma)))
+        return bound.clip(float(self.rng.normal(0.0, sigma)))
 
     def __repr__(self) -> str:
         return f"RandomAdversary(seed={self._seed!r}, distribution={self.distribution!r})"

@@ -21,7 +21,10 @@ same two-phase algorithm described in Section II of the paper:
    analysis -- and transport cancellation additionally guarantees a
    well-formed (alternating) output signal for arbitrary overlap patterns.
 
-Three cancellation resolvers are provided:
+The algorithm itself lives in :class:`~repro.engine.kernel.ChannelKernel`
+(the *same* kernel the event-driven simulator executes incrementally);
+this module defines the :class:`Channel` interface on top of it and
+re-exports the three cancellation resolvers:
 
 * :func:`transport_resolve` -- the default transport semantics,
 * :func:`cancel_non_fifo_reference` -- the literal O(n^2) pairwise marking,
@@ -34,11 +37,19 @@ cases used by the theory.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
-from .transitions import Signal, Transition
+# Re-exported from the engine kernel: the single home of the cancellation
+# semantics shared with the event-driven simulator.
+from ..engine.kernel import (
+    ChannelKernel,
+    PendingTransition,
+    cancel_non_fifo,
+    cancel_non_fifo_reference,
+    pending_to_signal,
+    transport_resolve,
+)
+from .transitions import Signal
 
 __all__ = [
     "PendingTransition",
@@ -51,167 +62,14 @@ __all__ = [
 ]
 
 
-@dataclass
-class PendingTransition:
-    """A tentative output transition before cancellation.
-
-    Attributes
-    ----------
-    input_time:
-        Time ``t_n`` of the generating input transition.
-    delay:
-        The input-to-output delay ``delta_n`` assigned to it (may be
-        ``-inf`` when the domain guard of the eta-channel fires).
-    value:
-        Output value after the transition (same as the input transition's
-        value for non-inverting channels).
-    T:
-        The previous-output-to-input delay used to compute ``delay``.
-    eta:
-        The adversarial shift included in ``delay`` (0 for deterministic
-        channels).
-    cancelled:
-        Set by the cancellation phase.
-    """
-
-    input_time: float
-    delay: float
-    value: int
-    T: float = math.nan
-    eta: float = 0.0
-    cancelled: bool = False
-
-    @property
-    def output_time(self) -> float:
-        """The tentative output transition time ``t_n + delta_n``."""
-        return self.input_time + self.delay
-
-
-def cancel_non_fifo_reference(times: Sequence[float]) -> List[bool]:
-    """Literal O(n^2) implementation of the cancellation rule.
-
-    ``times[k]`` is the tentative output time of the k-th pending
-    transition.  Returns a list of booleans, True meaning *cancelled*.
-    A transition is cancelled iff it participates in at least one
-    non-FIFO pair (an earlier transition with a later-or-equal output
-    time, or a later transition with an earlier-or-equal output time).
-    """
-    n = len(times)
-    cancelled = [False] * n
-    for i in range(n):
-        for j in range(i + 1, n):
-            if times[i] >= times[j]:
-                cancelled[i] = True
-                cancelled[j] = True
-    return cancelled
-
-
-def cancel_non_fifo(times: Sequence[float]) -> List[bool]:
-    """O(n) cancellation sweep equivalent to :func:`cancel_non_fifo_reference`.
-
-    A transition survives iff its output time is strictly larger than every
-    earlier output time and strictly smaller than every later output time,
-    i.e. it is a strict two-sided record.  Survivors are automatically in
-    strictly increasing time order and (because an even number of
-    transitions is dropped between consecutive survivors) still alternate
-    in value.
-    """
-    n = len(times)
-    if n == 0:
-        return []
-    prefix_max = [-math.inf] * n
-    running = -math.inf
-    for i, t in enumerate(times):
-        prefix_max[i] = running
-        running = max(running, t)
-    suffix_min = [math.inf] * n
-    running = math.inf
-    for i in range(n - 1, -1, -1):
-        suffix_min[i] = running
-        running = min(running, times[i])
-    return [not (prefix_max[i] < times[i] < suffix_min[i]) for i in range(n)]
-
-
-def transport_resolve(
-    initial_value: int, pending: Sequence[PendingTransition]
-) -> Signal:
-    """Resolve cancellations with transport (VHDL-style) semantics.
-
-    Tentative transitions are processed in generation order; scheduling a
-    new transition at time ``s`` (generated by an input transition at time
-    ``t``) removes all still-queued transitions with time ``>= s`` that have
-    not yet *matured* (their time is ``> t``, i.e. they would still be
-    pending in an online simulation).  After processing, queued transitions
-    that do not change the output value are suppressed, which yields a
-    well-formed alternating signal.  The maturity condition makes this
-    offline resolution agree exactly with the incremental resolution of the
-    event-driven simulator.
-    """
-    queue: List[PendingTransition] = []
-    for p in pending:
-        while (
-            queue
-            and queue[-1].output_time >= p.output_time
-            and queue[-1].output_time > p.input_time
-        ):
-            queue.pop().cancelled = True
-        queue.append(p)
-    value = initial_value
-    transitions: List[Transition] = []
-    for p in queue:
-        if p.value == value or not math.isfinite(p.output_time):
-            p.cancelled = True
-            continue
-        p.cancelled = False
-        transitions.append(Transition(p.output_time, p.value))
-        value = p.value
-    return Signal(initial_value, transitions, allow_negative_times=True)
-
-
-def pending_to_signal(
-    initial_value: int,
-    pending: Sequence[PendingTransition],
-    *,
-    mode: str = "transport",
-    use_reference_cancellation: bool = False,
-) -> Signal:
-    """Apply the cancellation phase and assemble the output signal.
-
-    ``mode`` selects the resolver: ``"transport"`` (default, well-formed for
-    arbitrary overlaps), ``"record"`` (O(n) two-sided-record sweep of the
-    literal pairwise rule) or ``"pairwise"`` (O(n^2) literal reference).
-    ``use_reference_cancellation=True`` is a legacy alias for
-    ``mode="pairwise"``.
-    """
-    if use_reference_cancellation:
-        mode = "pairwise"
-    if mode == "transport":
-        return transport_resolve(initial_value, pending)
-    times = [p.output_time for p in pending]
-    if mode == "pairwise":
-        cancelled = cancel_non_fifo_reference(times)
-    elif mode == "record":
-        cancelled = cancel_non_fifo(times)
-    else:
-        raise ValueError(f"unknown cancellation mode {mode!r}")
-    for p, c in zip(pending, cancelled):
-        p.cancelled = c
-    transitions = [
-        Transition(p.output_time, p.value)
-        for p in pending
-        if not p.cancelled and math.isfinite(p.output_time)
-    ]
-    return Signal(initial_value, transitions, allow_negative_times=True)
-
-
 class Channel:
     """Base class of all channels.
 
-    Subclasses implement :meth:`tentative_delays`, which assigns the delay
-    ``delta_n`` to every input transition; the shared machinery here takes
-    care of the iteration over the input signal, bookkeeping of the
-    previous tentative output transition, cancellation, and assembly of the
-    output signal.
+    Subclasses implement :meth:`delay_for`, which assigns the delay
+    ``delta_n`` to every input transition; the shared
+    :class:`~repro.engine.kernel.ChannelKernel` takes care of the iteration
+    over the input signal, bookkeeping of the previous tentative output
+    transition, cancellation, and assembly of the output signal.
 
     Parameters
     ----------
@@ -249,9 +107,9 @@ class Channel:
     def rejection_window(self) -> float:
         """Width of the inertial pulse-rejection window (0 for no rejection).
 
-        The event-driven simulator removes output pulses narrower than this
-        window (both of their transitions), which is how inertial delay
-        channels implement glitch suppression incrementally.
+        The engine removes output pulses narrower than this window (both of
+        their transitions), which is how inertial delay channels implement
+        glitch suppression incrementally.
         """
         return 0.0
 
@@ -268,27 +126,11 @@ class Channel:
 
     def pending_transitions(self, signal: Signal) -> List[PendingTransition]:
         """Run the tentative phase of the algorithm on ``signal``."""
-        self.reset()
-        pending: List[PendingTransition] = []
-        previous_input_time = -math.inf
-        previous_delay = self.initial_delay()
-        for index, transition in enumerate(signal):
-            t_n = transition.time
-            out_value = (1 - transition.value) if self.inverting else transition.value
-            rising_output = out_value == 1
-            if math.isinf(previous_input_time):
-                T = math.inf
-            else:
-                T = t_n - previous_input_time - previous_delay
-            delay = self.delay_for(T, rising_output, index, t_n)
-            pending.append(
-                PendingTransition(
-                    input_time=t_n, delay=delay, value=out_value, T=T
-                )
-            )
-            previous_input_time = t_n
-            previous_delay = delay
-        return pending
+        kernel = ChannelKernel(self, input_initial_value=signal.initial_value)
+        return [
+            kernel.tentative(transition.time, transition.value)
+            for transition in signal
+        ]
 
     def __call__(self, signal: Signal, **kwargs) -> Signal:
         """Apply the channel function to an input signal."""

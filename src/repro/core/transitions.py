@@ -155,6 +155,19 @@ class Signal:
     # ------------------------------------------------------------------ #
 
     @classmethod
+    def _trusted(cls, initial_value: int, transitions: Sequence[Transition]) -> "Signal":
+        """Fast path for internally generated, already well-formed transitions.
+
+        Skips per-transition validation; callers (the execution engine's
+        result assembly) guarantee strictly increasing times and alternating
+        values by construction.
+        """
+        signal = cls.__new__(cls)
+        signal._initial_value = initial_value
+        signal._transitions = tuple(transitions)
+        return signal
+
+    @classmethod
     def constant(cls, value: int) -> "Signal":
         """The signal that is constantly ``value``."""
         return cls(value, [])

@@ -1,0 +1,96 @@
+"""The unified simulation engine.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.engine.kernel` -- :class:`ChannelKernel`, the single home of
+  the tentative-delay / transport-cancellation / inertial-rejection
+  semantics shared by the offline channel algorithm
+  (:mod:`repro.core.channel`) and the event-driven simulator,
+* :mod:`repro.engine.scheduler` -- the event queue with delta-cycle
+  batching (:class:`Scheduler`), the precomputed circuit view
+  (:class:`CircuitTopology`) and the event loop (:class:`Engine`),
+* :mod:`repro.engine.sweep` -- the batched sweep runner
+  (:func:`run_many`) that amortises validation/topology across whole
+  scenario families, with per-run channel overrides, Monte Carlo eta
+  sampling (:func:`eta_monte_carlo`) and optional thread fan-out.
+
+The scheduler and sweep layers are imported lazily (PEP 562) because
+:mod:`repro.core.channel` imports the kernel at module load time; eager
+imports here would create a cycle through :mod:`repro.circuits`.
+"""
+
+from .errors import CausalityError, SimulationError
+from .kernel import (
+    ChannelKernel,
+    KernelEvent,
+    PendingTransition,
+    cancel_non_fifo,
+    cancel_non_fifo_reference,
+    pending_to_signal,
+    transport_resolve,
+)
+
+__all__ = [
+    # errors
+    "SimulationError",
+    "CausalityError",
+    # kernel
+    "ChannelKernel",
+    "KernelEvent",
+    "PendingTransition",
+    "cancel_non_fifo",
+    "cancel_non_fifo_reference",
+    "transport_resolve",
+    "pending_to_signal",
+    # scheduler (lazy)
+    "PORT",
+    "DELIVER",
+    "SETTLE",
+    "Scheduler",
+    "CircuitTopology",
+    "Execution",
+    "Engine",
+    # sweep (lazy)
+    "Scenario",
+    "RunResult",
+    "SweepResult",
+    "run_many",
+    "channel_overrides",
+    "eta_monte_carlo",
+    "sweep_map",
+]
+
+_SCHEDULER_EXPORTS = {
+    "PORT",
+    "DELIVER",
+    "SETTLE",
+    "Scheduler",
+    "CircuitTopology",
+    "Execution",
+    "Engine",
+}
+_SWEEP_EXPORTS = {
+    "Scenario",
+    "RunResult",
+    "SweepResult",
+    "run_many",
+    "channel_overrides",
+    "eta_monte_carlo",
+    "sweep_map",
+}
+
+
+def __getattr__(name):
+    if name in _SCHEDULER_EXPORTS:
+        from . import scheduler
+
+        return getattr(scheduler, name)
+    if name in _SWEEP_EXPORTS:
+        from . import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

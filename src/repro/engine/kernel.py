@@ -1,0 +1,523 @@
+"""The shared single-history channel kernel.
+
+This module is the single home of the channel semantics that used to be
+implemented twice -- once offline in :mod:`repro.core.channel` and once
+re-inlined in the event-driven simulator.  Both now build on
+:class:`ChannelKernel`, which evaluates one channel *incrementally*:
+
+* **tentative phase** -- :meth:`ChannelKernel.tentative` assigns every
+  input transition at time ``t_n`` a tentative output transition at
+  ``t_n + delta_n``, where ``delta_n`` depends on the
+  previous-output-to-input delay ``T_n = t_n - (t_{n-1} + delta_{n-1})``
+  (using the *tentative* previous output transition, regardless of later
+  cancellation),
+* **transport cancellation** -- :meth:`ChannelKernel.commit` removes
+  still-pending (unmatured) outputs at later-or-equal times, suppresses
+  out-of-domain (``-inf``) delays, and applies the channel's inertial
+  pulse-rejection window,
+* **delivery** -- :meth:`ChannelKernel.deliver` (online, driven by an
+  event queue) or :meth:`ChannelKernel.mature`/:meth:`ChannelKernel.flush`
+  (offline, driven by input order) turn surviving pending transitions into
+  delivered output transitions, suppressing no-change deliveries.
+
+The offline resolvers (:func:`transport_resolve` and the literal pairwise
+rule :func:`cancel_non_fifo_reference` with its O(n) record-sweep
+equivalent :func:`cancel_non_fifo`) also live here;
+:mod:`repro.core.channel` re-exports them so existing imports keep
+working.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.transitions import Signal, Transition
+from .errors import CausalityError
+
+__all__ = [
+    "PendingTransition",
+    "KernelEvent",
+    "ChannelKernel",
+    "cancel_non_fifo",
+    "cancel_non_fifo_reference",
+    "transport_resolve",
+    "pending_to_signal",
+]
+
+
+@dataclass
+class PendingTransition:
+    """A tentative output transition before cancellation.
+
+    Attributes
+    ----------
+    input_time:
+        Time ``t_n`` of the generating input transition.
+    delay:
+        The input-to-output delay ``delta_n`` assigned to it (may be
+        ``-inf`` when the domain guard of the eta-channel fires).
+    value:
+        Output value after the transition (same as the input transition's
+        value for non-inverting channels).
+    T:
+        The previous-output-to-input delay used to compute ``delay``.
+    eta:
+        The adversarial shift included in ``delay`` (0 for deterministic
+        channels).
+    cancelled:
+        Set by the cancellation phase.
+    """
+
+    input_time: float
+    delay: float
+    value: int
+    T: float = math.nan
+    eta: float = 0.0
+    cancelled: bool = False
+
+    @property
+    def output_time(self) -> float:
+        """The tentative output transition time ``t_n + delta_n``."""
+        return self.input_time + self.delay
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """A newly scheduled channel-output transition.
+
+    Returned by :meth:`ChannelKernel.feed`/:meth:`ChannelKernel.commit` so
+    an event-driven scheduler can enqueue the delivery; ``event_id`` is the
+    handle to pass back to :meth:`ChannelKernel.deliver`.
+    """
+
+    time: float
+    value: int
+    event_id: int
+
+
+class ChannelKernel:
+    """Incremental evaluation of one single-history channel.
+
+    One kernel instance holds the complete per-channel state that the
+    two-phase algorithm of the paper needs: the tentative-phase bookkeeping
+    (previous input time/delay, transition count), the queue of pending
+    (scheduled but undelivered) output transitions, and the delivered
+    output prefix.  The event-driven engine keeps one kernel per circuit
+    edge; the offline channel algorithm drives a throwaway kernel over the
+    whole input signal.
+
+    Parameters
+    ----------
+    channel:
+        The channel whose delay semantics to apply.  May be ``None`` for a
+        pure cancellation resolver (see :func:`transport_resolve`), in
+        which case only :meth:`commit`/:meth:`mature`/:meth:`flush` may be
+        used.
+    input_initial_value:
+        Initial value of the channel's input signal.
+    name:
+        Label used in error messages (the engine passes the edge name).
+    id_source:
+        Callable yielding fresh event ids; defaults to a private counter.
+        The engine shares its event-queue counter so delivery events sort
+        deterministically.
+    on_causality:
+        Policy when a transition is scheduled at-or-before an already
+        delivered one with a differing value: ``"error"`` raises
+        :class:`~repro.engine.errors.CausalityError`, ``"drop"`` discards
+        it (counted in :attr:`dropped`).
+    queue_horizon:
+        Cancelled pending transitions need a tombstone in
+        :attr:`cancelled_ids` only if their delivery event actually sits in
+        an external event queue.  The engine schedules deliveries up to the
+        simulation ``end_time`` and passes it here, so ids of transitions
+        cancelled *past* the horizon are never recorded (they would
+        otherwise accumulate without ever being drained -- the bookkeeping
+        leak of the former ``_EdgeState``).  Offline evaluation uses no
+        external queue and keeps the default ``-inf``.
+    """
+
+    __slots__ = (
+        "channel",
+        "name",
+        "on_causality",
+        "queue_horizon",
+        "_next_id",
+        "input_initial_value",
+        "last_input_time",
+        "last_delay",
+        "last_input_value",
+        "transition_count",
+        "delivered_value",
+        "last_delivered_time",
+        "pending",
+        "delivered",
+        "cancelled_ids",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        channel: Optional[object],
+        *,
+        input_initial_value: int = 0,
+        name: Optional[str] = None,
+        id_source: Optional[Callable[[], int]] = None,
+        on_causality: str = "error",
+        queue_horizon: float = -math.inf,
+    ) -> None:
+        if on_causality not in ("error", "drop"):
+            raise ValueError("on_causality must be 'error' or 'drop'")
+        self.channel = channel
+        self.name = name or (getattr(channel, "name", None) or "channel")
+        self.on_causality = on_causality
+        self.queue_horizon = queue_horizon
+        self._next_id = id_source if id_source is not None else itertools.count().__next__
+        self.reset(input_initial_value)
+
+    # -- state ----------------------------------------------------------- #
+
+    def reset(self, input_initial_value: Optional[int] = None) -> None:
+        """Reset to the start-of-run state (also resets the channel)."""
+        if input_initial_value is not None:
+            self.input_initial_value = input_initial_value
+        self.last_input_time = -math.inf
+        self.last_delay = self.channel.initial_delay() if self.channel else 0.0
+        self.last_input_value = self.input_initial_value
+        self.transition_count = 0
+        self.delivered_value = (
+            self.channel.output_initial_value(self.input_initial_value)
+            if self.channel
+            else self.input_initial_value
+        )
+        self.last_delivered_time = -math.inf
+        #: Scheduled-but-undelivered outputs, time-sorted:
+        #: ``(time, value, event_id, generating PendingTransition or None)``.
+        self.pending: List[Tuple[float, int, int, Optional[PendingTransition]]] = []
+        #: Delivered output transitions, in delivery order.
+        self.delivered: List[Transition] = []
+        #: Tombstones of cancelled transitions whose delivery event is still
+        #: in the external event queue.
+        self.cancelled_ids: set = set()
+        #: Transitions discarded by the ``on_causality="drop"`` policy.
+        self.dropped = 0
+        if self.channel is not None:
+            self.channel.reset()
+
+    def finalize(self) -> None:
+        """Drop end-of-run bookkeeping (pending past the horizon, tombstones).
+
+        The engine calls this once the event queue is drained or the
+        simulation horizon is reached: every remaining pending transition
+        and cancellation tombstone refers to an event that can no longer be
+        delivered, so keeping them would only leak memory across the
+        assembled execution.
+        """
+        self.pending.clear()
+        self.cancelled_ids.clear()
+
+    # -- tentative phase -------------------------------------------------- #
+
+    def tentative(self, time: float, value: int) -> PendingTransition:
+        """Assign the tentative delay ``delta_n`` to one input transition.
+
+        Updates the previous-output bookkeeping regardless of later
+        cancellation, exactly as the paper's algorithm prescribes.
+        """
+        channel = self.channel
+        if math.isinf(self.last_input_time):
+            T = math.inf
+        else:
+            T = time - self.last_input_time - self.last_delay
+        out_value = (1 - value) if channel.inverting else value
+        rising_output = out_value == 1
+        delay = channel.delay_for(T, rising_output, self.transition_count, time)
+        self.last_input_time = time
+        self.last_delay = delay
+        self.last_input_value = value
+        self.transition_count += 1
+        return PendingTransition(input_time=time, delay=delay, value=out_value, T=T)
+
+    # -- cancellation phase ----------------------------------------------- #
+
+    def commit(self, p: PendingTransition) -> Optional[KernelEvent]:
+        """Apply transport cancellation and schedule ``p`` if it survives.
+
+        Returns the delivery event for the scheduler, or ``None`` when the
+        transition was suppressed (out-of-domain delay, inertial rejection,
+        no-change after cancellation, or the ``"drop"`` causality policy).
+        """
+        out_time = p.output_time
+        # Transport cancellation: remove still-pending outputs at >= out_time
+        # (matured outputs have been delivered and are no longer pending).
+        pending = self.pending
+        if pending and pending[-1][0] >= out_time:
+            kept = []
+            for entry in pending:
+                if entry[0] >= out_time:
+                    self._cancel(entry)
+                else:
+                    kept.append(entry)
+            self.pending = pending = kept
+
+        # Inertial pulse rejection: an output pulse narrower than the
+        # channel's rejection window is removed entirely (both its
+        # transitions), matching the offline remove_short_pulses filter.
+        window = self.channel.rejection_window() if self.channel else 0.0
+        if window > 0.0 and pending and out_time - pending[-1][0] < window:
+            self._cancel(pending.pop())
+            p.cancelled = True
+            return None
+
+        if not math.isfinite(out_time):
+            # Domain-guard case (delta = -inf): the transition cancels
+            # everything pending (done above) and is itself dropped.
+            p.cancelled = True
+            return None
+        if out_time <= self.last_delivered_time:
+            p.cancelled = True
+            if p.value == self.delivered_value:
+                # All pending transitions at later-or-equal times were just
+                # cancelled and the remaining scheduled value already equals
+                # this transition's value, so it is a no-change transition;
+                # suppressing it matches the offline transport resolution.
+                return None
+            if self.on_causality == "error":
+                raise CausalityError(
+                    f"channel {self.name!r} scheduled an output at {out_time:g} "
+                    f"but already delivered one at {self.last_delivered_time:g}"
+                )
+            self.dropped += 1
+            return None
+        event_id = self._next_id()
+        pending.append((out_time, p.value, event_id, p))
+        return KernelEvent(out_time, p.value, event_id)
+
+    def feed(self, time: float, value: int) -> Optional[KernelEvent]:
+        """Feed one input transition (online mode): tentative + commit.
+
+        Same-value inputs (no transition at the channel's input) are
+        ignored, mirroring the event-driven simulator's behaviour for gate
+        outputs that glitch back within a delta cycle.
+        """
+        if value == self.last_input_value:
+            return None
+        return self.commit(self.tentative(time, value))
+
+    def _cancel(self, entry: Tuple[float, int, int, Optional[PendingTransition]]) -> None:
+        time, _value, event_id, p = entry
+        if time <= self.queue_horizon:
+            # Only events actually sitting in the external queue need a
+            # tombstone; ids of never-enqueued (past-horizon) events would
+            # otherwise accumulate until the end of the run.
+            self.cancelled_ids.add(event_id)
+        if p is not None:
+            p.cancelled = True
+
+    # -- delivery --------------------------------------------------------- #
+
+    def deliver(self, event_id: int, value: int, time: float) -> bool:
+        """Deliver a scheduled output transition (online mode).
+
+        Returns True if the channel output actually changed (the engine
+        then propagates the transition to the target node).
+        """
+        if event_id in self.cancelled_ids:
+            self.cancelled_ids.discard(event_id)
+            return False
+        for index, entry in enumerate(self.pending):
+            if entry[2] == event_id:
+                del self.pending[index]
+                return self._deliver_value(time, value, entry[3])
+        return self._deliver_value(time, value, None)
+
+    def deliver_immediate(self, time: float, value: int) -> bool:
+        """Zero-delay delivery used for :class:`ZeroDelayChannel` edges.
+
+        Applies the logical inversion, suppresses no-change deliveries and
+        collapses zero-width glitches (two deliveries at the same instant
+        cancel out), returning True if the output changed.
+        """
+        self.last_input_value = value
+        out_value = (1 - value) if self.channel and self.channel.inverting else value
+        if out_value == self.delivered_value:
+            return False
+        self.delivered_value = out_value
+        self.last_delivered_time = time
+        if self.delivered and self.delivered[-1].time == time:
+            self.delivered.pop()
+        else:
+            self.delivered.append(Transition(time, out_value))
+        return True
+
+    def _deliver_value(
+        self, time: float, value: int, p: Optional[PendingTransition]
+    ) -> bool:
+        if value == self.delivered_value:
+            if p is not None:
+                p.cancelled = True
+            return False
+        self.delivered_value = value
+        self.last_delivered_time = time
+        self.delivered.append(Transition(time, value))
+        if p is not None:
+            p.cancelled = False
+        return True
+
+    def mature(self, up_to_time: float) -> None:
+        """Deliver every pending output scheduled at or before ``up_to_time``.
+
+        This is the offline counterpart of the event queue: a pending
+        transition whose output time is at-or-before the next input
+        transition has *matured* (an online simulation would already have
+        delivered it), so it can no longer be transport-cancelled.
+        """
+        pending = self.pending
+        while pending and pending[0][0] <= up_to_time:
+            time, value, _event_id, p = pending.pop(0)
+            self._deliver_value(time, value, p)
+
+    def flush(self) -> None:
+        """Deliver all remaining pending outputs (end of offline evaluation)."""
+        self.mature(math.inf)
+
+    # -- offline evaluation ----------------------------------------------- #
+
+    def process(self, signal: Signal) -> Signal:
+        """Evaluate the channel function over a whole input signal.
+
+        This is the offline algorithm of the paper: tentative phase in
+        input order, transport cancellation restricted to unmatured
+        transitions, then delivery -- byte-for-byte the behaviour of the
+        event-driven engine on a single-channel circuit.
+        """
+        self.reset(signal.initial_value)
+        for transition in signal:
+            self.mature(transition.time)
+            self.commit(self.tentative(transition.time, transition.value))
+        self.flush()
+        return Signal(
+            self.channel.output_initial_value(signal.initial_value)
+            if self.channel
+            else self.input_initial_value,
+            self.delivered,
+            allow_negative_times=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChannelKernel({self.name!r}, pending={len(self.pending)}, "
+            f"delivered={len(self.delivered)})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Offline cancellation resolvers
+# --------------------------------------------------------------------------- #
+
+
+def cancel_non_fifo_reference(times: Sequence[float]) -> List[bool]:
+    """Literal O(n^2) implementation of the cancellation rule.
+
+    ``times[k]`` is the tentative output time of the k-th pending
+    transition.  Returns a list of booleans, True meaning *cancelled*.
+    A transition is cancelled iff it participates in at least one
+    non-FIFO pair (an earlier transition with a later-or-equal output
+    time, or a later transition with an earlier-or-equal output time).
+    """
+    n = len(times)
+    cancelled = [False] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if times[i] >= times[j]:
+                cancelled[i] = True
+                cancelled[j] = True
+    return cancelled
+
+
+def cancel_non_fifo(times: Sequence[float]) -> List[bool]:
+    """O(n) cancellation sweep equivalent to :func:`cancel_non_fifo_reference`.
+
+    A transition survives iff its output time is strictly larger than every
+    earlier output time and strictly smaller than every later output time,
+    i.e. it is a strict two-sided record.  Survivors are automatically in
+    strictly increasing time order and (because an even number of
+    transitions is dropped between consecutive survivors) still alternate
+    in value.
+    """
+    n = len(times)
+    if n == 0:
+        return []
+    prefix_max = [-math.inf] * n
+    running = -math.inf
+    for i, t in enumerate(times):
+        prefix_max[i] = running
+        running = max(running, t)
+    suffix_min = [math.inf] * n
+    running = math.inf
+    for i in range(n - 1, -1, -1):
+        suffix_min[i] = running
+        running = min(running, times[i])
+    return [not (prefix_max[i] < times[i] < suffix_min[i]) for i in range(n)]
+
+
+def transport_resolve(
+    initial_value: int, pending: Sequence[PendingTransition]
+) -> Signal:
+    """Resolve cancellations with transport (VHDL-style) semantics.
+
+    Tentative transitions are processed in generation order; scheduling a
+    new transition at time ``s`` (generated by an input transition at time
+    ``t``) removes all still-queued transitions with time ``>= s`` that have
+    not yet *matured* (their time is ``> t``, i.e. they would still be
+    pending in an online simulation).  After processing, queued transitions
+    that do not change the output value are suppressed, which yields a
+    well-formed (alternating) output signal.  The maturity condition makes
+    this offline resolution agree exactly with the incremental resolution
+    of the event-driven engine -- it runs the same :class:`ChannelKernel`.
+    """
+    kernel = ChannelKernel(None, input_initial_value=initial_value)
+    for p in pending:
+        kernel.mature(p.input_time)
+        kernel.commit(p)
+    kernel.flush()
+    return Signal(initial_value, kernel.delivered, allow_negative_times=True)
+
+
+def pending_to_signal(
+    initial_value: int,
+    pending: Sequence[PendingTransition],
+    *,
+    mode: str = "transport",
+    use_reference_cancellation: bool = False,
+) -> Signal:
+    """Apply the cancellation phase and assemble the output signal.
+
+    ``mode`` selects the resolver: ``"transport"`` (default, well-formed for
+    arbitrary overlaps), ``"record"`` (O(n) two-sided-record sweep of the
+    literal pairwise rule) or ``"pairwise"`` (O(n^2) literal reference).
+    ``use_reference_cancellation=True`` is a legacy alias for
+    ``mode="pairwise"``.
+    """
+    if use_reference_cancellation:
+        mode = "pairwise"
+    if mode == "transport":
+        return transport_resolve(initial_value, pending)
+    times = [p.output_time for p in pending]
+    if mode == "pairwise":
+        cancelled = cancel_non_fifo_reference(times)
+    elif mode == "record":
+        cancelled = cancel_non_fifo(times)
+    else:
+        raise ValueError(f"unknown cancellation mode {mode!r}")
+    for p, c in zip(pending, cancelled):
+        p.cancelled = c
+    transitions = [
+        Transition(p.output_time, p.value)
+        for p in pending
+        if not p.cancelled and math.isfinite(p.output_time)
+    ]
+    return Signal(initial_value, transitions, allow_negative_times=True)

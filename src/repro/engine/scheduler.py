@@ -1,0 +1,476 @@
+"""Event scheduler and execution engine for circuits of single-history channels.
+
+This module hosts the machinery that used to live inside the 475-line
+``Simulator.run``: the heapq event queue with same-time batching
+(:class:`Scheduler`), the validated/precomputed structural view of a
+circuit (:class:`CircuitTopology`), and the main event loop
+(:class:`Engine`).  :class:`repro.circuits.simulator.Simulator` is now a
+thin compatibility wrapper around these classes, and the batched sweep
+runner (:mod:`repro.engine.sweep`) reuses one :class:`CircuitTopology`
+across many runs.
+
+The event protocol is deliberately small -- three event kinds:
+
+* ``PORT``    -- an input-port transition ``(port_name, value)``,
+* ``DELIVER`` -- a channel-output delivery ``(edge_name, value, event_id)``,
+* ``SETTLE``  -- the time-0 gate settling pass ``(gate_name, ...)``.
+
+All per-channel semantics (tentative delays, transport cancellation,
+inertial rejection, no-change suppression) live in the shared
+:class:`~repro.engine.kernel.ChannelKernel`; the engine only routes
+delivered transitions to gates and ports and performs the zero-time
+(delta-cycle) propagation of changed node outputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.transitions import Signal, Transition
+from .errors import SimulationError
+from .kernel import ChannelKernel
+
+__all__ = [
+    "PORT",
+    "DELIVER",
+    "SETTLE",
+    "Scheduler",
+    "CircuitTopology",
+    "Execution",
+    "Engine",
+]
+
+#: Event kinds of the engine's event protocol.
+PORT = "port"
+DELIVER = "deliver"
+SETTLE = "settle"
+
+
+class Scheduler:
+    """A time-ordered event queue with same-time batching.
+
+    Events pushed at the exact same time are popped together in one batch
+    so that gates see all their simultaneous input changes at once (delta
+    cycle semantics) instead of producing zero-time glitches.  The internal
+    monotonic counter breaks ties deterministically and doubles as the
+    event-id source shared with the channel kernels.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._counter = itertools.count()
+
+    def next_id(self) -> int:
+        """A fresh monotonically increasing id (shared with the kernels)."""
+        return next(self._counter)
+
+    def push(self, time: float, kind: str, payload: object) -> None:
+        """Schedule one event."""
+        heapq.heappush(self._heap, (time, next(self._counter), kind, payload))
+
+    def pop_batch(self) -> Tuple[float, List[Tuple[str, object]]]:
+        """Pop every event scheduled for the earliest pending time."""
+        time, _, kind, payload = heapq.heappop(self._heap)
+        batch = [(kind, payload)]
+        heap = self._heap
+        while heap and heap[0][0] == time:
+            _, _, more_kind, more_payload = heapq.heappop(heap)
+            batch.append((more_kind, more_payload))
+        return time, batch
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CircuitTopology:
+    """Validated, precomputed structural view of a circuit.
+
+    Building one is O(nodes x edges) (validation plus adjacency); the
+    engine's event loop then runs entirely on dict lookups.  A topology is
+    immutable with respect to the circuit structure and can be shared
+    across many runs (and across threads) -- this amortisation is what the
+    batched sweep runner is built on.
+    """
+
+    def __init__(self, circuit) -> None:
+        from ..circuits.circuit import GateInstance, InputPort, OutputPort
+        from ..core.channel import ZeroDelayChannel
+
+        circuit.validate()
+        self.circuit = circuit
+        self.edges = dict(circuit.edges)
+        self.input_ports: List[str] = []
+        self.output_ports: List[str] = []
+        self.gate_names: List[str] = []
+        self.gate_types: Dict[str, object] = {}
+        self.gate_initial: Dict[str, int] = {}
+        nodes = circuit.nodes
+        for name, node in nodes.items():
+            if isinstance(node, InputPort):
+                self.input_ports.append(name)
+            elif isinstance(node, OutputPort):
+                self.output_ports.append(name)
+            elif isinstance(node, GateInstance):
+                self.gate_names.append(name)
+                self.gate_types[name] = node.gate_type
+                self.gate_initial[name] = node.initial_value
+        self.is_gate = set(self.gate_names)
+        self.is_output = set(self.output_ports)
+        #: Edges driven by each node (empty list when none).
+        self.edges_from: Dict[str, List[object]] = {name: [] for name in nodes}
+        #: Edges driving each node, sorted by pin.
+        self.edges_into: Dict[str, List[object]] = {name: [] for name in nodes}
+        for edge in self.edges.values():
+            self.edges_from[edge.source].append(edge)
+            self.edges_into[edge.target].append(edge)
+        for into in self.edges_into.values():
+            into.sort(key=lambda e: e.pin)
+        #: Gate input views: gate name -> driving edge names in pin order.
+        self.gate_inputs: Dict[str, List[str]] = {
+            gname: [e.name for e in self.edges_into[gname]]
+            for gname in self.gate_names
+        }
+        #: The unique driving edge of every output port.
+        self.output_driver: Dict[str, object] = {
+            oname: self.edges_into[oname][0] for oname in self.output_ports
+        }
+        self.input_port_set = frozenset(self.input_ports)
+        #: Zero-delay flags of the *base* channels (recomputed per run only
+        #: for overridden edges).
+        self.zero_delay_class = ZeroDelayChannel
+        self.base_zero_delay: Dict[str, bool] = {
+            ename: isinstance(edge.channel, ZeroDelayChannel)
+            for ename, edge in self.edges.items()
+        }
+
+
+@dataclass
+class Execution:
+    """The result of simulating a circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The simulated circuit.
+    node_signals:
+        Signal produced at every node output (gate outputs, input ports).
+    edge_signals:
+        Signal at every channel output, keyed by edge name.
+    output_signals:
+        Convenience view: signal arriving at each output port.
+    end_time:
+        The simulation horizon that was used.
+    event_count:
+        Number of processed events (a simulator-performance metric).
+    dropped_transitions:
+        Number of transitions discarded by the ``on_causality="drop"`` policy.
+    """
+
+    circuit: object
+    node_signals: Dict[str, Signal]
+    edge_signals: Dict[str, Signal]
+    output_signals: Dict[str, Signal]
+    end_time: float
+    event_count: int
+    dropped_transitions: int = 0
+
+    def output(self, name: Optional[str] = None) -> Signal:
+        """Signal at the given output port (or the unique one if unnamed)."""
+        if name is None:
+            if len(self.output_signals) != 1:
+                raise SimulationError(
+                    "circuit has several output ports; specify which one"
+                )
+            return next(iter(self.output_signals.values()))
+        return self.output_signals[name]
+
+    def node(self, name: str) -> Signal:
+        """Signal at the given node output."""
+        return self.node_signals[name]
+
+    def edge(self, name: str) -> Signal:
+        """Signal at the given channel output."""
+        return self.edge_signals[name]
+
+
+class Engine:
+    """Discrete-event execution engine over a precomputed topology.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`CircuitTopology` (or a circuit, which is then validated
+        and precomputed on the spot).
+    on_causality:
+        Policy when a channel wants to emit an output transition earlier
+        than an already-delivered one: ``"error"`` raises
+        :class:`~repro.engine.errors.CausalityError`, ``"drop"`` discards
+        the transition.
+    max_events:
+        Safety bound on the number of processed events (oscillating storage
+        loops can generate events forever).
+    """
+
+    #: Delta-cycle bound for zero-delay combinational loops.
+    MAX_DELTA_CYCLES = 10_000
+
+    def __init__(
+        self,
+        topology,
+        *,
+        on_causality: str = "error",
+        max_events: int = 1_000_000,
+    ) -> None:
+        if on_causality not in ("error", "drop"):
+            raise ValueError("on_causality must be 'error' or 'drop'")
+        if not isinstance(topology, CircuitTopology):
+            topology = CircuitTopology(topology)
+        self.topology = topology
+        self.on_causality = on_causality
+        self.max_events = int(max_events)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        inputs: Dict[str, Signal],
+        end_time: float,
+        *,
+        channels: Optional[Dict[str, object]] = None,
+    ) -> Execution:
+        """Execute the circuit for the given input-port signals.
+
+        ``inputs`` maps every input-port name to its signal; transitions
+        after ``end_time`` are ignored and channel outputs scheduled after
+        ``end_time`` are not delivered (the returned signals are exact up
+        to ``end_time``).  ``channels`` optionally overrides the channel
+        used on selected edges (keyed by edge name) for this run only --
+        the hook the sweep runner uses for parameterised channel families
+        and per-run eta adversaries.
+        """
+        topo = self.topology
+        circuit = topo.circuit
+        input_ports = topo.input_port_set
+        missing = input_ports - set(inputs)
+        if missing:
+            raise SimulationError(f"missing input signals for ports {sorted(missing)}")
+        unknown = set(inputs) - input_ports
+        if unknown:
+            raise SimulationError(f"signals given for unknown ports {sorted(unknown)}")
+        if channels:
+            unknown_edges = set(channels) - set(topo.edges)
+            if unknown_edges:
+                raise SimulationError(
+                    f"channel overrides for unknown edges {sorted(unknown_edges)}"
+                )
+
+        scheduler = Scheduler()
+
+        # --- initial values ------------------------------------------------
+        node_values: Dict[str, int] = {}
+        node_transitions: Dict[str, List[Transition]] = {}
+        for pname in topo.input_ports:
+            node_values[pname] = inputs[pname].initial_value
+            node_transitions[pname] = []
+        for gname in topo.gate_names:
+            node_values[gname] = topo.gate_initial[gname]
+            node_transitions[gname] = []
+        for oname in topo.output_ports:
+            node_values[oname] = 0  # defined by the driving channel below
+            node_transitions[oname] = []
+
+        kernels: Dict[str, ChannelKernel] = {}
+        zero_delay: Dict[str, bool] = dict(topo.base_zero_delay)
+        run_channels: Dict[str, object] = {}
+        for ename, edge in topo.edges.items():
+            if channels and ename in channels:
+                channel = channels[ename]
+                zero_delay[ename] = isinstance(channel, topo.zero_delay_class)
+            else:
+                channel = edge.channel
+            run_channels[ename] = channel
+            kernels[ename] = ChannelKernel(
+                channel,
+                input_initial_value=node_values[edge.source],
+                name=ename,
+                id_source=scheduler.next_id,
+                on_causality=self.on_causality,
+                queue_horizon=end_time,
+            )
+        for oname in topo.output_ports:
+            node_values[oname] = kernels[topo.output_driver[oname].name].delivered_value
+
+        # --- primary events -------------------------------------------------
+        for pname in topo.input_ports:
+            for tr in inputs[pname]:
+                if tr.time <= end_time:
+                    scheduler.push(tr.time, PORT, (pname, tr.value))
+
+        event_count = 0
+
+        # --- helpers ---------------------------------------------------------
+
+        def record_node_transition(nname: str, time: float, value: int) -> None:
+            """Record a node-output transition, collapsing zero-width glitches.
+
+            Two transitions of a node at exactly the same time form a
+            zero-width glitch (the value reverts within the same instant);
+            both are removed, keeping the recorded signal well formed.
+            """
+            transitions = node_transitions[nname]
+            if transitions and transitions[-1].time == time:
+                transitions.pop()
+            else:
+                transitions.append(Transition(time, value))
+
+        def evaluate_gate(gname: str, time: float) -> bool:
+            """Re-evaluate a gate; record and return True if its output changed."""
+            values = [kernels[e].delivered_value for e in topo.gate_inputs[gname]]
+            new_value = topo.gate_types[gname].evaluate(values)
+            if new_value == node_values[gname]:
+                return False
+            node_values[gname] = new_value
+            record_node_transition(gname, time, new_value)
+            return True
+
+        # --- settle gates at time 0 ------------------------------------------
+        # Gate initial values may be inconsistent with their input initial
+        # values; the execution then has the gate switching at time 0.
+        if topo.gate_names:
+            scheduler.push(0.0, SETTLE, tuple(topo.gate_names))
+
+        # --- main loop ---------------------------------------------------------
+        while scheduler:
+            time, batch = scheduler.pop_batch()
+            if time > end_time:
+                break
+            event_count += len(batch)
+            if event_count > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; "
+                    "the circuit may be oscillating (raise the limit or shorten end_time)"
+                )
+
+            changed_nodes: List[str] = []
+            gates_to_evaluate: List[str] = []
+            for batch_kind, batch_payload in batch:
+                if batch_kind == PORT:
+                    pname, value = batch_payload
+                    if node_values[pname] != value:
+                        node_values[pname] = value
+                        record_node_transition(pname, time, value)
+                        changed_nodes.append(pname)
+                elif batch_kind == DELIVER:
+                    ename, value, event_id = batch_payload
+                    if kernels[ename].deliver(event_id, value, time):
+                        target = topo.edges[ename].target
+                        if target in topo.is_gate:
+                            if target not in gates_to_evaluate:
+                                gates_to_evaluate.append(target)
+                        elif target in topo.is_output:
+                            node_values[target] = value
+                            record_node_transition(target, time, value)
+                elif batch_kind == SETTLE:
+                    for gname in batch_payload:
+                        if gname not in gates_to_evaluate:
+                            gates_to_evaluate.append(gname)
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event kind {batch_kind!r}")
+            for gname in gates_to_evaluate:
+                if evaluate_gate(gname, time):
+                    changed_nodes.append(gname)
+
+            # Zero-time propagation of changed node outputs into their channels.
+            # Zero-delay channels deliver immediately (delta cycles); bounded
+            # to avoid infinite combinational loops.
+            delta_cycles = 0
+            while changed_nodes:
+                delta_cycles += 1
+                if delta_cycles > self.MAX_DELTA_CYCLES:
+                    raise SimulationError(
+                        "combinational (zero-delay) loop detected at "
+                        f"time {time:g}"
+                    )
+                affected_gates: List[str] = []
+                for nname in changed_nodes:
+                    value = node_values[nname]
+                    for edge in topo.edges_from[nname]:
+                        ename = edge.name
+                        kernel = kernels[ename]
+                        if zero_delay[ename]:
+                            if not kernel.deliver_immediate(time, value):
+                                continue
+                            out_value = kernel.delivered_value
+                            if edge.target in topo.is_gate:
+                                if edge.target not in affected_gates:
+                                    affected_gates.append(edge.target)
+                            elif edge.target in topo.is_output:
+                                node_values[edge.target] = out_value
+                                record_node_transition(edge.target, time, out_value)
+                        else:
+                            event = kernel.feed(time, value)
+                            if event is not None and event.time <= end_time:
+                                scheduler.push(
+                                    event.time,
+                                    DELIVER,
+                                    (ename, event.value, event.event_id),
+                                )
+                next_changed: List[str] = []
+                for gname in affected_gates:
+                    if evaluate_gate(gname, time):
+                        next_changed.append(gname)
+                changed_nodes = next_changed
+
+        # --- assemble the execution ------------------------------------------
+        # The engine only records well-formed transition lists (alternating
+        # values, strictly increasing times, same-instant glitches
+        # collapsed), so assembly uses the validation-free Signal fast path.
+        node_signals: Dict[str, Signal] = {}
+        for pname in topo.input_ports:
+            node_signals[pname] = Signal._trusted(
+                inputs[pname].initial_value, node_transitions[pname]
+            )
+        for gname in topo.gate_names:
+            node_signals[gname] = Signal._trusted(
+                topo.gate_initial[gname], node_transitions[gname]
+            )
+        for oname in topo.output_ports:
+            driver = topo.output_driver[oname]
+            if driver.source in topo.is_gate:
+                src_initial = topo.gate_initial[driver.source]
+            else:
+                src_initial = inputs[driver.source].initial_value
+            channel = run_channels[driver.name]
+            node_signals[oname] = Signal._trusted(
+                channel.output_initial_value(src_initial), node_transitions[oname]
+            )
+        edge_signals = {}
+        dropped = 0
+        for ename, kernel in kernels.items():
+            edge = topo.edges[ename]
+            edge_signals[ename] = Signal._trusted(
+                run_channels[ename].output_initial_value(
+                    node_signals[edge.source].initial_value
+                ),
+                kernel.delivered,
+            )
+            dropped += kernel.dropped
+            # Purge end-of-run bookkeeping: pending transitions past the
+            # horizon and cancellation tombstones can never be delivered.
+            kernel.finalize()
+        output_signals = {oname: node_signals[oname] for oname in topo.output_ports}
+        return Execution(
+            circuit=circuit,
+            node_signals=node_signals,
+            edge_signals=edge_signals,
+            output_signals=output_signals,
+            end_time=end_time,
+            event_count=event_count,
+            dropped_transitions=dropped,
+        )

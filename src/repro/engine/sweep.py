@@ -1,0 +1,268 @@
+"""Batched execution of scenario families through one shared engine.
+
+Every experiment driver in this repository used to re-run the simulator
+one parameter point at a time, re-validating the circuit and re-deriving
+its adjacency for every single run.  :func:`run_many` amortises that work:
+the circuit is validated and precomputed into a
+:class:`~repro.engine.scheduler.CircuitTopology` exactly once, and each
+:class:`Scenario` then only pays for its own event loop.  Scenarios can
+override per-edge channels (parameterised channel families, per-run eta
+adversaries) and optionally fan out over a :mod:`concurrent.futures`
+thread pool.
+
+Helpers:
+
+* :func:`channel_overrides` -- build a per-edge override map from a factory
+  (e.g. "replace every non-zero-delay channel with a fresh eta channel"),
+* :func:`eta_monte_carlo` -- scenario family sampling an independent random
+  eta adversary per channel per run (Monte Carlo over the admissible
+  parameter ``H`` of the paper's execution definition),
+* :func:`sweep_map` -- a generic ordered (optionally threaded) map used by
+  the analog characterisation drivers for their per-condition sweeps.
+"""
+
+from __future__ import annotations
+
+import copy
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+from ..core.transitions import Signal
+from .scheduler import CircuitTopology, Engine, Execution
+
+__all__ = [
+    "Scenario",
+    "RunResult",
+    "SweepResult",
+    "run_many",
+    "channel_overrides",
+    "eta_monte_carlo",
+    "sweep_map",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass
+class Scenario:
+    """One parameter point of a sweep.
+
+    Attributes
+    ----------
+    name:
+        Label of the scenario (used in results and reports).
+    inputs:
+        Input-port signals for this run.
+    end_time:
+        Simulation horizon for this run.
+    channels:
+        Optional per-edge channel overrides (edge name -> channel); edges
+        not listed keep the circuit's base channel.
+    metadata:
+        Free-form parameters riding along (swept values, seeds, ...).
+    """
+
+    name: str
+    inputs: Dict[str, Signal]
+    end_time: float
+    channels: Optional[Dict[str, object]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """The execution of one scenario plus its wall-clock cost."""
+
+    scenario: Scenario
+    execution: Execution
+    seconds: float
+
+
+@dataclass
+class SweepResult:
+    """All runs of a sweep over one shared circuit topology."""
+
+    topology: CircuitTopology
+    runs: List[RunResult]
+    total_seconds: float
+
+    @property
+    def executions(self) -> List[Execution]:
+        """The executions, in scenario order."""
+        return [run.execution for run in self.runs]
+
+    def execution(self, name: str) -> Execution:
+        """The execution of the scenario with the given name."""
+        for run in self.runs:
+            if run.scenario.name == name:
+                return run.execution
+        raise KeyError(f"no scenario named {name!r}")
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+
+def run_many(
+    circuit,
+    scenarios: Sequence[Scenario],
+    *,
+    on_causality: str = "error",
+    max_events: int = 1_000_000,
+    max_workers: Optional[int] = None,
+) -> SweepResult:
+    """Execute every scenario against one shared, precomputed topology.
+
+    The circuit is validated and its adjacency precomputed exactly once;
+    every scenario then runs through a fresh event loop (fresh kernels,
+    fresh channel state) just as a standalone
+    :func:`repro.circuits.simulator.simulate` call would.
+
+    With ``max_workers`` set, scenarios fan out over a thread pool.  Base
+    channels of the circuit are stateful (adversary RNGs), so in parallel
+    mode every edge *not* overridden by the scenario is deep-copied per
+    run; sequential mode (the default) shares them exactly like the naive
+    per-scenario loop did, preserving RNG advancement semantics.
+    """
+    topology = (
+        circuit
+        if isinstance(circuit, CircuitTopology)
+        else CircuitTopology(circuit)
+    )
+    engine = Engine(topology, on_causality=on_causality, max_events=max_events)
+
+    def execute(scenario: Scenario, *, isolate: bool) -> RunResult:
+        channels = dict(scenario.channels) if scenario.channels else {}
+        if isolate:
+            for ename, edge in topology.edges.items():
+                if ename not in channels:
+                    channels[ename] = copy.deepcopy(edge.channel)
+        start = _time.perf_counter()
+        execution = engine.run(
+            scenario.inputs, scenario.end_time, channels=channels or None
+        )
+        return RunResult(
+            scenario=scenario,
+            execution=execution,
+            seconds=_time.perf_counter() - start,
+        )
+
+    start = _time.perf_counter()
+    if max_workers is not None and max_workers > 1 and len(scenarios) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            runs = list(pool.map(lambda s: execute(s, isolate=True), scenarios))
+    else:
+        runs = [execute(scenario, isolate=False) for scenario in scenarios]
+    return SweepResult(
+        topology=topology,
+        runs=runs,
+        total_seconds=_time.perf_counter() - start,
+    )
+
+
+def channel_overrides(
+    circuit,
+    factory: Callable[[object], object],
+    *,
+    skip_zero_delay: bool = True,
+) -> Dict[str, object]:
+    """Build a per-edge channel override map from a factory.
+
+    ``factory`` is called with each edge and returns the replacement
+    channel (or ``None`` to keep the base channel).  Zero-delay edges
+    (ports, taps) are skipped by default, so ``channel_overrides(circuit,
+    lambda e: make_channel())`` swaps exactly the timing channels of the
+    circuit -- the usual way to evaluate one topology under a parameterised
+    channel family.
+    """
+    from ..core.channel import ZeroDelayChannel
+
+    # Circuit and CircuitTopology both expose `.edges` with the same shape.
+    edges = circuit.edges
+    overrides: Dict[str, object] = {}
+    for ename, edge in edges.items():
+        if skip_zero_delay and isinstance(edge.channel, ZeroDelayChannel):
+            continue
+        channel = factory(edge)
+        if channel is not None:
+            overrides[ename] = channel
+    return overrides
+
+
+def eta_monte_carlo(
+    circuit,
+    inputs: Dict[str, Signal],
+    end_time: float,
+    n_runs: int,
+    *,
+    seed: int = 0,
+    name: str = "mc",
+) -> List[Scenario]:
+    """Scenario family sampling independent random eta adversaries per run.
+
+    Every eta-involution channel edge of the circuit is overridden with a
+    copy of its channel driven by a fresh
+    :class:`~repro.core.adversary.RandomAdversary`, seeded independently
+    per (run, edge) from a deterministic seed sequence -- Monte Carlo
+    sampling over the paper's admissible parameter ``H``.  Edges with
+    non-eta channels keep their base channel.
+    """
+    import numpy as np
+
+    from ..core.adversary import RandomAdversary
+    from ..core.eta_channel import EtaInvolutionChannel
+
+    # Circuit and CircuitTopology both expose `.edges` with the same shape.
+    edges = circuit.edges
+    eta_edges = [
+        (ename, edge)
+        for ename, edge in edges.items()
+        if isinstance(edge.channel, EtaInvolutionChannel)
+    ]
+    seed_seq = np.random.SeedSequence(seed)
+    children = seed_seq.spawn(n_runs)
+    scenarios: List[Scenario] = []
+    for run_index in range(n_runs):
+        edge_seeds = children[run_index].spawn(len(eta_edges))
+        overrides = {
+            # A SeedSequence child works as a RandomAdversary seed and keeps
+            # Adversary.reset() reproducible (default_rng(SeedSequence) is pure).
+            ename: edge.channel.with_adversary(RandomAdversary(seed=edge_seeds[k]))
+            for k, (ename, edge) in enumerate(eta_edges)
+        }
+        scenarios.append(
+            Scenario(
+                name=f"{name}[{run_index}]",
+                inputs=inputs,
+                end_time=end_time,
+                channels=overrides,
+                metadata={"run_index": run_index, "seed": seed},
+            )
+        )
+    return scenarios
+
+
+def sweep_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[_R]:
+    """Ordered map over independent sweep points, optionally threaded.
+
+    The analog characterisation drivers (Fig. 7/8/9 sweeps over supply
+    voltages and variation scenarios) fan their independent, numpy-heavy
+    condition sweeps out through this helper; with ``max_workers=None``
+    it degrades to a plain list comprehension, keeping results bitwise
+    identical to the sequential loops it replaced.
+    """
+    items = list(items)
+    if max_workers is None or max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))

@@ -23,7 +23,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..circuits.library import inverter_chain
-from ..circuits.simulator import Simulator
 from ..core.adversary import EtaBound, RandomAdversary, ZeroAdversary
 from ..core.baselines import (
     DegradationDelayChannel,
@@ -36,6 +35,7 @@ from ..core.eta_channel import EtaInvolutionChannel
 from ..core.involution import InvolutionPair
 from ..core.involution_channel import InvolutionChannel
 from ..core.transitions import Signal
+from ..engine.sweep import Scenario, channel_overrides, run_many
 
 __all__ = ["ModelComparisonResult", "run_model_comparison", "default_model_factories"]
 
@@ -113,13 +113,26 @@ def run_model_comparison(
     stimulus = Signal.pulse_train(
         1.0, [pulse_width] * pulse_count, [gap] * (pulse_count - 1)
     )
+    # Every model shares the same chain topology; scenarios only swap the
+    # per-stage channels, so the circuit is validated/precomputed once.
+    first_factory = next(iter(factories.values()))
+    circuit = inverter_chain(stages, first_factory, expose_taps=True)
+    scenarios = [
+        Scenario(
+            name=model,
+            inputs={"in": stimulus},
+            end_time=end_time,
+            channels=channel_overrides(circuit, lambda edge: factory()),
+        )
+        for model, factory in factories.items()
+    ]
+    sweep = run_many(circuit, scenarios, max_events=2_000_000)
+
     stage_survivors: Dict[str, List[int]] = {}
     output_transitions: Dict[str, int] = {}
-    for model, factory in factories.items():
-        circuit = inverter_chain(stages, factory, expose_taps=True)
-        execution = Simulator(circuit, max_events=2_000_000).run(
-            {"in": stimulus}, end_time
-        )
+    for run in sweep:
+        model = run.scenario.name
+        execution = run.execution
         survivors = []
         for stage in range(1, stages + 1):
             signal = execution.output_signals[f"q{stage}"]

@@ -22,6 +22,7 @@ import numpy as np
 from ..analog.chain import AnalogInverterChain
 from ..analog.technology import Technology, UMC90
 from ..analog.variations import ConstantSupply
+from ..engine.sweep import sweep_map
 from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
 
 __all__ = ["Fig7Curve", "Fig7Result", "run_fig7", "DEFAULT_VDD_LEVELS"]
@@ -93,15 +94,19 @@ def run_fig7(
     stage_index: int = 1,
     n_widths: int = 24,
     rising_output: bool = False,
+    max_workers: Optional[int] = None,
 ) -> Fig7Result:
     """Characterise ``delta(T)`` of one inverter stage for several supplies.
 
     ``rising_output=False`` reproduces the paper's ``delta_down`` curves.
     The pulse-width sweep is scaled with the per-stage delay at each supply
-    voltage so every curve covers a comparable ``T`` range.
+    voltage so every curve covers a comparable ``T`` range.  The per-supply
+    characterisations are independent and fan out over
+    :func:`repro.engine.sweep.sweep_map` (sequential unless
+    ``max_workers`` is set).
     """
-    curves: Dict[float, Fig7Curve] = {}
-    for vdd in vdd_levels:
+
+    def characterise(vdd: float) -> Fig7Curve:
         chain = AnalogInverterChain(technology, stages=stages)
         # Scale stimulus widths with the slower stage delay at this supply.
         tau_ref = max(
@@ -124,7 +129,10 @@ def run_fig7(
         )
         measurement = driver.measure(widths, label=f"VDD={vdd:g}V")
         T, delta = measurement.polarity(rising_output)
-        curves[float(vdd)] = Fig7Curve(
-            vdd=float(vdd), T=T, delta=delta, measurement=measurement
-        )
+        return Fig7Curve(vdd=float(vdd), T=T, delta=delta, measurement=measurement)
+
+    results = sweep_map(
+        characterise, [float(v) for v in vdd_levels], max_workers=max_workers
+    )
+    curves = {curve.vdd: curve for curve in results}
     return Fig7Result(curves=curves, polarity="delta_up" if rising_output else "delta_down")

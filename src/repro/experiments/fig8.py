@@ -27,8 +27,9 @@ import numpy as np
 
 from ..analog.chain import AnalogInverterChain
 from ..analog.technology import Technology, UMC90
-from ..analog.variations import RandomPhaseSineSupply, width_variation
+from ..analog.variations import VariationScenario, standard_variations
 from ..core.involution import InvolutionPair
+from ..engine.sweep import sweep_map
 from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
 from ..fitting.eta_coverage import DeviationAnalysis, compute_deviations, eta_band
 
@@ -92,14 +93,19 @@ def run_fig8(
     eta_plus: Optional[float] = None,
     supply_amplitude: float = 0.01,
     seed: int = 2018,
+    max_workers: Optional[int] = None,
 ) -> Fig8Result:
     """Run the Fig. 8 deviation/coverage experiment.
 
     The reference delay pair is characterised under nominal conditions;
-    each scenario re-characterises the same stage under its variation and
+    each scenario re-characterises the same stage under its variation
+    (built by :func:`repro.analog.variations.standard_variations`) and
     compares against the reference.  ``eta_plus`` defaults to 20 % of the
     reference ``delta_min`` (a "suitable value" in the paper's words);
-    ``eta_minus`` is then maximal under constraint (C).
+    ``eta_minus`` is then maximal under constraint (C).  The independent
+    per-scenario characterisations fan out over
+    :func:`repro.engine.sweep.sweep_map` (sequential unless
+    ``max_workers`` is set).
     """
     widths = _default_widths(technology, n_widths)
     nominal_chain = AnalogInverterChain(technology, stages=stages)
@@ -110,31 +116,33 @@ def run_fig8(
         eta_plus = 0.2 * reference.delta_min
     band = eta_band(reference, eta_plus)
 
-    sine_period = 2.0 * (
-        technology.intrinsic_delay
-        + technology.tau_pull_up(technology.vdd_nominal)
-        + technology.tau_pull_down(technology.vdd_nominal)
-    )
-
-    results: Dict[str, Fig8Scenario] = {}
-    for name in scenarios:
-        if name == "supply_1pct":
-            chain = AnalogInverterChain(technology, stages=stages)
-            supply = RandomPhaseSineSupply(
-                technology.vdd_nominal, supply_amplitude, sine_period, seed=seed
-            )
-            driver = CharacterizationDriver(chain, stage_index=stage_index, supply=supply)
-        elif name == "width_plus10":
-            chain = AnalogInverterChain(width_variation(technology, +10.0), stages=stages)
-            driver = CharacterizationDriver(chain, stage_index=stage_index)
-        elif name == "width_minus10":
-            chain = AnalogInverterChain(width_variation(technology, -10.0), stages=stages)
-            driver = CharacterizationDriver(chain, stage_index=stage_index)
-        else:
-            raise ValueError(f"unknown scenario {name!r}")
-        measurement = driver.measure(widths, label=name)
-        analysis = compute_deviations(measurement, reference, eta=band, label=name)
-        results[name] = Fig8Scenario(
-            name=name, analysis=analysis, summary=analysis.summary()
+    available = {
+        variation.name: variation
+        for variation in standard_variations(
+            technology, supply_amplitude=supply_amplitude, seed=seed
         )
+    }
+    unknown = [name for name in scenarios if name not in available]
+    if unknown:
+        raise ValueError(f"unknown scenario {unknown[0]!r}")
+
+    def characterise(variation: VariationScenario) -> Fig8Scenario:
+        chain = AnalogInverterChain(variation.technology, stages=stages)
+        driver = CharacterizationDriver(
+            chain, stage_index=stage_index, supply=variation.supply
+        )
+        measurement = driver.measure(widths, label=variation.name)
+        analysis = compute_deviations(
+            measurement, reference, eta=band, label=variation.name
+        )
+        return Fig8Scenario(
+            name=variation.name, analysis=analysis, summary=analysis.summary()
+        )
+
+    characterised = sweep_map(
+        characterise,
+        [available[name] for name in scenarios],
+        max_workers=max_workers,
+    )
+    results = {scenario.name: scenario for scenario in characterised}
     return Fig8Result(scenarios=results, reference=reference, eta_plus=float(eta_plus))

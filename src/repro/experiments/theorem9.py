@@ -20,7 +20,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..circuits.library import fed_back_or
-from ..circuits.simulator import Simulator
 from ..core.adversary import (
     Adversary,
     BestCaseAdversary,
@@ -33,6 +32,7 @@ from ..core.constraint import admissible_eta_bound
 from ..core.eta_channel import EtaInvolutionChannel
 from ..core.involution import InvolutionPair
 from ..core.transitions import Signal
+from ..engine.sweep import Scenario, run_many
 from ..spf.analysis import SPFAnalysis, SPFRegime
 
 __all__ = [
@@ -147,33 +147,45 @@ def run_theorem9(
     if adversaries is None:
         adversaries = default_adversaries()
 
+    # One shared storage-loop topology; every (adversary, pulse length)
+    # point only overrides the feedback channel, so circuit validation and
+    # adjacency precomputation are paid exactly once for the whole sweep.
+    circuit = fed_back_or(EtaInvolutionChannel(pair, eta, ZeroAdversary()))
+    scenarios = [
+        Scenario(
+            name=f"{name}@{float(delta_0):g}",
+            inputs={"i": Signal.pulse(0.0, float(delta_0))},
+            end_time=end_time,
+            channels={"feedback": EtaInvolutionChannel(pair, eta, factory())},
+            metadata={"adversary": name, "delta_0": float(delta_0)},
+        )
+        for name, factory in adversaries.items()
+        for delta_0 in pulse_lengths
+    ]
+    sweep = run_many(circuit, scenarios, max_events=max_events)
+
     observations: List[RegimeObservation] = []
-    for name, factory in adversaries.items():
-        for delta_0 in pulse_lengths:
-            delta_0 = float(delta_0)
-            channel = EtaInvolutionChannel(pair, eta, factory())
-            circuit = fed_back_or(channel)
-            execution = Simulator(circuit, max_events=max_events).run(
-                {"i": Signal.pulse(0.0, delta_0)}, end_time
+    for run in sweep:
+        delta_0 = run.scenario.metadata["delta_0"]
+        name = run.scenario.metadata["adversary"]
+        output = run.execution.output_signals["or_out"]
+        regime = analysis.classify(delta_0)
+        pulses = output.pulses()
+        loop_pulses = pulses[1:]
+        duty_cycles = output.duty_cycles()[1:]
+        observations.append(
+            RegimeObservation(
+                delta_0=delta_0,
+                adversary=name,
+                regime=regime,
+                final_value=output.final_value,
+                n_pulses=len(pulses),
+                max_up_time=max((p.length for p in loop_pulses), default=0.0),
+                max_duty_cycle=max(duty_cycles, default=0.0),
+                stabilization_time=output.stabilization_time(),
+                consistent=_check_consistency(analysis, regime, delta_0, output),
             )
-            output = execution.output_signals["or_out"]
-            regime = analysis.classify(delta_0)
-            pulses = output.pulses()
-            loop_pulses = pulses[1:]
-            duty_cycles = output.duty_cycles()[1:]
-            observations.append(
-                RegimeObservation(
-                    delta_0=delta_0,
-                    adversary=name,
-                    regime=regime,
-                    final_value=output.final_value,
-                    n_pulses=len(pulses),
-                    max_up_time=max((p.length for p in loop_pulses), default=0.0),
-                    max_duty_cycle=max(duty_cycles, default=0.0),
-                    stabilization_time=output.stabilization_time(),
-                    consistent=_check_consistency(analysis, regime, delta_0, output),
-                )
-            )
+        )
     return Theorem9Result(
         analysis_summary=analysis.summary(), observations=observations
     )

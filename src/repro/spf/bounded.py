@@ -26,11 +26,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..circuits.library import fed_back_or
-from ..circuits.simulator import Simulator
 from ..core.adversary import Adversary, EtaBound, ZeroAdversary
 from ..core.eta_channel import EtaInvolutionChannel
 from ..core.involution import InvolutionPair
 from ..core.transitions import Signal
+from ..engine.scheduler import CircuitTopology, Engine
+from ..engine.sweep import Scenario, run_many
 from .analysis import SPFAnalysis
 
 __all__ = [
@@ -108,19 +109,29 @@ def simulated_stabilization_sweep(
     """
     if threshold is None:
         threshold = SPFAnalysis(pair, eta).delta_tilde_0
-    samples = []
-    for gap in gaps:
-        delta_0 = threshold + gap
-        channel = EtaInvolutionChannel(pair, eta, adversary_factory())
-        circuit = fed_back_or(channel)
-        execution = Simulator(circuit, max_events=max_events).run(
-            {"i": Signal.pulse(0.0, delta_0)}, end_time
+    # One shared storage-loop topology; each gap only swaps the feedback
+    # channel (fresh adversary) and the input pulse.
+    circuit = fed_back_or(EtaInvolutionChannel(pair, eta, ZeroAdversary()))
+    scenarios = [
+        Scenario(
+            name=f"gap={float(gap):g}",
+            inputs={"i": Signal.pulse(0.0, threshold + float(gap))},
+            end_time=end_time,
+            channels={
+                "feedback": EtaInvolutionChannel(pair, eta, adversary_factory())
+            },
+            metadata={"gap": float(gap), "delta_0": threshold + float(gap)},
         )
-        out = execution.output_signals["or_out"]
+        for gap in gaps
+    ]
+    sweep = run_many(circuit, scenarios, max_events=max_events)
+    samples = []
+    for run in sweep:
+        out = run.execution.output_signals["or_out"]
         samples.append(
             StabilizationSample(
-                delta_0=delta_0,
-                gap=gap,
+                delta_0=run.scenario.metadata["delta_0"],
+                gap=run.scenario.metadata["gap"],
                 pulses=len(out.pulses()),
                 stabilization_time=out.stabilization_time(),
                 final_value=out.final_value,
@@ -154,11 +165,17 @@ def find_empirical_threshold(
     if hi is None:
         hi = analysis.latch_threshold
 
+    # The bisection reuses one engine; every probe overrides the feedback
+    # channel with a fresh adversary, exactly as rebuilding the circuit did.
+    circuit = fed_back_or(EtaInvolutionChannel(pair, eta, ZeroAdversary()))
+    engine = Engine(CircuitTopology(circuit), max_events=max_events)
+
     def final_value(delta_0: float) -> int:
         channel = EtaInvolutionChannel(pair, eta, adversary_factory())
-        circuit = fed_back_or(channel)
-        execution = Simulator(circuit, max_events=max_events).run(
-            {"i": Signal.pulse(0.0, delta_0)}, end_time
+        execution = engine.run(
+            {"i": Signal.pulse(0.0, delta_0)},
+            end_time,
+            channels={"feedback": channel},
         )
         return execution.output_signals["or_out"].final_value
 

@@ -1,0 +1,92 @@
+"""Regression tests for simulator policies left untested by the seed.
+
+Covers the ``on_causality="drop"`` policy and the combinational
+zero-delay-loop :class:`SimulationError` path.
+"""
+
+import pytest
+
+from repro.circuits import (
+    BUF,
+    NOR2,
+    CausalityError,
+    Circuit,
+    SimulationError,
+    simulate,
+)
+from repro.core import Channel, Signal
+
+
+class ScriptedDelayChannel(Channel):
+    """Channel returning a scripted delay per transition index (test helper)."""
+
+    def __init__(self, delays):
+        super().__init__()
+        self._delays = list(delays)
+
+    def delay_for(self, T, rising_output, index, time):
+        return self._delays[index]
+
+
+def buffer_circuit(channel) -> Circuit:
+    circuit = Circuit("buffer")
+    circuit.add_input("a")
+    circuit.add_gate("g", BUF, initial_value=0)
+    circuit.add_output("y")
+    circuit.connect("a", "g", channel, pin=0)
+    circuit.connect("g", "y")
+    return circuit
+
+
+class TestCausalityPolicies:
+    """A negative scripted delay schedules the falling output at 0.5, before
+    the already-delivered rising output at 1.0."""
+
+    def test_error_policy_raises(self):
+        with pytest.raises(CausalityError):
+            simulate(
+                buffer_circuit(ScriptedDelayChannel([1.0, -1.5])),
+                {"a": Signal.pulse(0.0, 2.0)},
+                20.0,
+            )
+
+    def test_drop_policy_discards_and_counts(self):
+        execution = simulate(
+            buffer_circuit(ScriptedDelayChannel([1.0, -1.5])),
+            {"a": Signal.pulse(0.0, 2.0)},
+            20.0,
+            on_causality="drop",
+        )
+        assert execution.dropped_transitions == 1
+        # Only the rising transition survives: the acausal fall is dropped.
+        out = execution.output("y")
+        assert out.transition_times() == [1.0]
+        assert out.final_value == 1
+
+    def test_drop_policy_suppresses_no_change_without_counting(self):
+        # A no-change acausal transition (same value as delivered, after the
+        # pending fall at 7.0 was transport-cancelled) is a plain
+        # suppression in both policies, not a drop.
+        execution = simulate(
+            buffer_circuit(ScriptedDelayChannel([1.0, 5.0, -2.5])),
+            {"a": Signal.from_times([0.0, 2.0, 3.0])},
+            20.0,
+            on_causality="drop",
+        )
+        assert execution.dropped_transitions == 0
+        assert execution.output("y").transition_times() == [1.0]
+
+
+class TestZeroDelayLoop:
+    def test_combinational_loop_detected(self):
+        # NOR fed back through a zero-delay channel oscillates in zero time:
+        # NOR(0, q) = not q forever within the time-0 delta cycles.
+        circuit = Circuit("zero-delay-loop")
+        circuit.add_input("i", initial_value=0)
+        circuit.add_gate("nor", NOR2, initial_value=0)
+        circuit.add_output("q")
+        circuit.connect("i", "nor", pin=0)
+        circuit.connect("nor", "nor", pin=1)  # zero-delay feedback
+        circuit.connect("nor", "q")
+        with pytest.raises(SimulationError, match="zero-delay"):
+            simulate(circuit, {"i": Signal.zero()}, 10.0)

@@ -1,0 +1,146 @@
+"""Property-based online/offline equivalence of the shared kernel.
+
+The kernel refactor must preserve the seed's central invariant: on a
+single-channel circuit, the event-driven simulator agrees
+transition-for-transition with the offline channel algorithm of
+:mod:`repro.core.channel`.  Both paths now execute the same
+:class:`~repro.engine.kernel.ChannelKernel`, and these hypothesis tests
+pin the equivalence down over random stimuli, channel parameters and
+admissible adversarial shift sequences.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import BUF, Circuit, simulate
+from repro.core import (
+    DegradationDelayChannel,
+    EtaInvolutionChannel,
+    InvolutionChannel,
+    InvolutionPair,
+    PureDelayChannel,
+    SequenceAdversary,
+    Signal,
+    admissible_eta_bound,
+)
+
+END_TIME = 1e6
+
+
+def single_channel_circuit(channel) -> Circuit:
+    """in -> [channel under test] -> BUF -> out (zero-delay tap)."""
+    circuit = Circuit("single-channel")
+    circuit.add_input("a")
+    circuit.add_gate("g", BUF, initial_value=channel.output_initial_value(0))
+    circuit.add_output("y")
+    circuit.connect("a", "g", channel, pin=0, name="ch")
+    circuit.connect("g", "y")
+    return circuit
+
+
+def online_edge_signal(channel, stimulus: Signal) -> Signal:
+    execution = simulate(single_channel_circuit(channel), {"a": stimulus}, END_TIME)
+    return execution.edge("ch")
+
+
+@st.composite
+def stimuli(draw) -> Signal:
+    """Alternating signals with random (possibly tight) gaps, initial 0."""
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=6.0, allow_nan=False),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    times = []
+    t = 0.0
+    for gap in gaps:
+        t += gap
+        times.append(t)
+    return Signal.from_times(times)
+
+
+@st.composite
+def exp_pairs(draw) -> InvolutionPair:
+    tau = draw(st.floats(min_value=0.3, max_value=2.0, allow_nan=False))
+    t_p = draw(st.floats(min_value=0.1, max_value=1.0, allow_nan=False))
+    return InvolutionPair.exp_channel(tau, t_p)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stimuli(), exp_pairs())
+def test_involution_channel_online_matches_offline(stimulus, pair):
+    offline = InvolutionChannel(pair).apply(stimulus)
+    online = online_edge_signal(InvolutionChannel(pair), stimulus)
+    assert online.initial_value == offline.initial_value
+    assert online.transition_times() == offline.transition_times()
+    assert [tr.value for tr in online] == [tr.value for tr in offline]
+
+
+@settings(max_examples=60, deadline=None)
+@given(stimuli(), exp_pairs(), st.data())
+def test_eta_channel_online_matches_offline(stimulus, pair, data):
+    eta = admissible_eta_bound(pair, eta_plus=0.04)
+    shifts = data.draw(
+        st.lists(
+            st.floats(
+                min_value=-eta.eta_minus,
+                max_value=eta.eta_plus,
+                allow_nan=False,
+            ),
+            min_size=len(stimulus),
+            max_size=len(stimulus),
+        )
+    )
+    offline = EtaInvolutionChannel(
+        pair, eta, SequenceAdversary(shifts)
+    ).apply(stimulus)
+    online = online_edge_signal(
+        EtaInvolutionChannel(pair, eta, SequenceAdversary(shifts)), stimulus
+    )
+    assert online.transition_times() == offline.transition_times()
+    assert [tr.value for tr in online] == [tr.value for tr in offline]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stimuli(),
+    st.floats(min_value=0.05, max_value=3.0, allow_nan=False),
+    st.floats(min_value=0.05, max_value=3.0, allow_nan=False),
+)
+def test_pure_delay_online_matches_offline(stimulus, rising, falling):
+    offline = PureDelayChannel(rising, falling).apply(stimulus)
+    online = online_edge_signal(PureDelayChannel(rising, falling), stimulus)
+    assert online.transition_times() == offline.transition_times()
+
+
+@settings(max_examples=40, deadline=None)
+@given(stimuli(), exp_pairs())
+def test_ddm_online_matches_offline(stimulus, pair):
+    channel_args = dict(delta_nominal=pair.delta_up_inf, tau_deg=1.0)
+    offline = DegradationDelayChannel(**channel_args).apply(stimulus)
+    online = online_edge_signal(DegradationDelayChannel(**channel_args), stimulus)
+    assert online.transition_times() == offline.transition_times()
+
+
+def test_inverting_channel_online_matches_offline(exp_pair):
+    stimulus = Signal.pulse_train(0.0, [2.0, 0.4, 1.5], [2.0, 1.0])
+    channel = InvolutionChannel(exp_pair, inverting=True)
+    offline = channel.apply(stimulus)
+    online = online_edge_signal(InvolutionChannel(exp_pair, inverting=True), stimulus)
+    assert online.initial_value == offline.initial_value == 1
+    assert online.transition_times() == offline.transition_times()
+
+
+def test_domain_guard_cancellation_matches(exp_pair):
+    # A long stable phase followed by a very short glitch triggers the
+    # -inf domain guard; online and offline must cancel identically.
+    stimulus = Signal.from_times([1.0, 40.0, 40.0 + 1e-4, 45.0])
+    channel = InvolutionChannel(exp_pair)
+    offline = channel.apply(stimulus)
+    online = online_edge_signal(InvolutionChannel(exp_pair), stimulus)
+    assert online.transition_times() == offline.transition_times()
+    assert all(math.isfinite(t) for t in online.transition_times())

@@ -1,0 +1,135 @@
+"""Unit tests for the shared channel kernel."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Channel,
+    EtaInvolutionChannel,
+    InvolutionChannel,
+    PureDelayChannel,
+    SequenceAdversary,
+    Signal,
+)
+from repro.engine import CausalityError, ChannelKernel, KernelEvent
+
+
+class ScriptedDelayChannel(Channel):
+    """Channel returning a scripted delay per transition index (test helper)."""
+
+    def __init__(self, delays):
+        super().__init__()
+        self._delays = list(delays)
+
+    def delay_for(self, T, rising_output, index, time):
+        return self._delays[index]
+
+
+class TestTentativePhase:
+    def test_matches_channel_pending_transitions(self, involution_channel):
+        signal = Signal.pulse_train(0.0, [2.0, 0.4, 1.5], [2.0, 1.0])
+        pending = involution_channel.pending_transitions(signal)
+        kernel = ChannelKernel(involution_channel, input_initial_value=0)
+        direct = [kernel.tentative(tr.time, tr.value) for tr in signal]
+        assert [p.delay for p in direct] == [p.delay for p in pending]
+        assert [p.T for p in direct] == [p.T for p in pending]
+
+    def test_first_transition_has_infinite_T(self, involution_channel):
+        kernel = ChannelKernel(involution_channel)
+        p = kernel.tentative(1.0, 1)
+        assert math.isinf(p.T) and p.T > 0
+
+
+class TestOfflineProcess:
+    def test_process_matches_apply(self, involution_channel, exp_pair):
+        signal = Signal.pulse_train(0.0, [2.0, 0.4, 1.5], [2.0, 1.0])
+        offline = InvolutionChannel(exp_pair).apply(signal)
+        kernel = ChannelKernel(involution_channel)
+        assert kernel.process(signal) == offline
+
+    def test_feed_dedups_same_value_inputs(self):
+        kernel = ChannelKernel(PureDelayChannel(1.0), input_initial_value=0)
+        assert kernel.feed(1.0, 0) is None  # no transition at the input
+        event = kernel.feed(2.0, 1)
+        assert isinstance(event, KernelEvent)
+        assert event.time == pytest.approx(3.0)
+
+
+class TestCancelledIdBookkeeping:
+    """The cancelled-id leak fix: tombstones only for enqueued events."""
+
+    def test_past_horizon_cancellation_leaves_no_tombstone(self):
+        # queue_horizon = 10 (the engine's end_time): the rising output at
+        # 11.5 is never enqueued, so transport-cancelling it must not
+        # record its id -- those ids used to accumulate until end of run.
+        kernel = ChannelKernel(
+            PureDelayChannel(2.0, 0.5), input_initial_value=0, queue_horizon=10.0
+        )
+        rise = kernel.feed(9.5, 1)
+        assert rise is not None and rise.time == pytest.approx(11.5)
+        fall = kernel.feed(9.9, 0)  # scheduled at 10.4, cancels the rise
+        assert fall is not None and fall.time == pytest.approx(10.4)
+        assert kernel.cancelled_ids == set()
+        assert [entry[2] for entry in kernel.pending] == [fall.event_id]
+
+    def test_within_horizon_cancellation_tombstone_is_consumed(self):
+        kernel = ChannelKernel(
+            PureDelayChannel(5.0, 1.0), input_initial_value=0, queue_horizon=100.0
+        )
+        rise = kernel.feed(1.0, 1)  # scheduled at 6.0
+        fall = kernel.feed(2.0, 0)  # scheduled at 3.0 -> cancels the rise
+        assert rise is not None and fall is not None
+        assert kernel.cancelled_ids == {rise.event_id}
+        # Delivering the cancelled event consumes its tombstone.
+        assert kernel.deliver(rise.event_id, rise.value, rise.time) is False
+        assert kernel.cancelled_ids == set()
+
+    def test_finalize_purges_pending_and_tombstones(self):
+        kernel = ChannelKernel(
+            PureDelayChannel(5.0, 1.0), input_initial_value=0, queue_horizon=100.0
+        )
+        kernel.feed(1.0, 1)
+        kernel.feed(2.0, 0)
+        assert kernel.pending and kernel.cancelled_ids
+        kernel.finalize()
+        assert kernel.pending == []
+        assert kernel.cancelled_ids == set()
+
+
+class TestCausalityPolicy:
+    def test_error_policy_raises(self):
+        kernel = ChannelKernel(ScriptedDelayChannel([1.0, -1.5]), input_initial_value=0)
+        event = kernel.feed(0.0, 1)
+        kernel.deliver(event.event_id, event.value, event.time)
+        with pytest.raises(CausalityError):
+            kernel.feed(2.0, 0)  # schedules at 0.5 < delivered 1.0
+
+    def test_drop_policy_counts(self):
+        kernel = ChannelKernel(
+            ScriptedDelayChannel([1.0, -1.5]),
+            input_initial_value=0,
+            on_causality="drop",
+        )
+        event = kernel.feed(0.0, 1)
+        kernel.deliver(event.event_id, event.value, event.time)
+        assert kernel.feed(2.0, 0) is None
+        assert kernel.dropped == 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelKernel(PureDelayChannel(1.0), on_causality="ignore")
+
+
+class TestEtaKernel:
+    def test_sequence_adversary_shifts_via_kernel(self, exp_pair, eta_small):
+        channel = EtaInvolutionChannel(
+            exp_pair, eta_small, SequenceAdversary([0.0, eta_small.eta_plus])
+        )
+        signal = Signal.pulse(1.0, 4.0)
+        kernel = ChannelKernel(channel)
+        out = kernel.process(signal)
+        reference = channel.deterministic_output(signal)
+        times, ref_times = out.transition_times(), reference.transition_times()
+        assert times[0] == pytest.approx(ref_times[0])
+        assert times[1] == pytest.approx(ref_times[1] + eta_small.eta_plus)

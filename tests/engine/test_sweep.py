@@ -1,0 +1,180 @@
+"""Unit tests for the batched sweep runner."""
+
+import pytest
+
+from repro.circuits import fed_back_or, inverter_chain, simulate
+from repro.core import (
+    EtaInvolutionChannel,
+    InvolutionChannel,
+    InvolutionPair,
+    PureDelayChannel,
+    Signal,
+    WorstCaseAdversary,
+    ZeroAdversary,
+)
+from repro.engine import (
+    CircuitTopology,
+    Engine,
+    Scenario,
+    SimulationError,
+    channel_overrides,
+    eta_monte_carlo,
+    run_many,
+    sweep_map,
+)
+
+
+@pytest.fixture()
+def chain(exp_pair):
+    return inverter_chain(4, lambda: InvolutionChannel(exp_pair))
+
+
+class TestRunMany:
+    def test_matches_naive_simulate_loop(self, chain):
+        scenarios = [
+            Scenario(f"w={w}", {"in": Signal.pulse(1.0, w)}, 60.0)
+            for w in (0.5, 1.0, 2.0, 4.0)
+        ]
+        sweep = run_many(chain, scenarios)
+        assert len(sweep) == 4
+        for run in sweep:
+            naive = simulate(chain, run.scenario.inputs, 60.0)
+            assert run.execution.output("out") == naive.output("out")
+            assert run.execution.event_count == naive.event_count
+
+    def test_accepts_prebuilt_topology(self, chain):
+        topology = CircuitTopology(chain)
+        sweep = run_many(
+            topology, [Scenario("s", {"in": Signal.pulse(1.0, 2.0)}, 50.0)]
+        )
+        assert sweep.topology is topology
+        assert sweep.execution("s").output("out").final_value == 0
+
+    def test_execution_lookup_unknown_name(self, chain):
+        sweep = run_many(chain, [Scenario("s", {"in": Signal.zero()}, 10.0)])
+        with pytest.raises(KeyError):
+            sweep.execution("nope")
+
+    def test_channel_override_per_scenario(self, exp_pair, eta_small):
+        circuit = fed_back_or(
+            EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
+        )
+        long_pulse = {"i": Signal.pulse(0.0, 5.0)}
+        short_pulse = {"i": Signal.pulse(0.0, 0.2)}
+        scenarios = [
+            Scenario(
+                "worst-long",
+                long_pulse,
+                100.0,
+                channels={
+                    "feedback": EtaInvolutionChannel(
+                        exp_pair, eta_small, WorstCaseAdversary()
+                    )
+                },
+            ),
+            Scenario(
+                "worst-short",
+                short_pulse,
+                100.0,
+                channels={
+                    "feedback": EtaInvolutionChannel(
+                        exp_pair, eta_small, WorstCaseAdversary()
+                    )
+                },
+            ),
+        ]
+        sweep = run_many(circuit, scenarios, max_events=2_000_000)
+        assert sweep.execution("worst-long").output_signals["or_out"].final_value == 1
+        assert sweep.execution("worst-short").output_signals["or_out"].final_value == 0
+
+    def test_unknown_override_edge_rejected(self, chain):
+        scenario = Scenario(
+            "bad",
+            {"in": Signal.zero()},
+            10.0,
+            channels={"no-such-edge": PureDelayChannel(1.0)},
+        )
+        with pytest.raises(SimulationError):
+            run_many(chain, [scenario])
+
+    def test_parallel_matches_sequential(self, chain):
+        scenarios = [
+            Scenario(f"w={w}", {"in": Signal.pulse(1.0, w)}, 60.0)
+            for w in (0.5, 1.0, 2.0, 4.0)
+        ]
+        sequential = run_many(chain, scenarios)
+        parallel = run_many(chain, scenarios, max_workers=3)
+        for seq_run, par_run in zip(sequential, parallel):
+            assert seq_run.execution.output("out") == par_run.execution.output("out")
+
+    def test_records_timing(self, chain):
+        sweep = run_many(chain, [Scenario("s", {"in": Signal.pulse(1.0, 2.0)}, 50.0)])
+        assert sweep.total_seconds > 0.0
+        assert all(run.seconds >= 0.0 for run in sweep)
+
+
+class TestChannelOverrides:
+    def test_skips_zero_delay_edges(self, chain, exp_pair):
+        overrides = channel_overrides(
+            chain, lambda edge: InvolutionChannel(exp_pair)
+        )
+        # The 4-stage chain has 4 factory channels plus the zero-delay out tap.
+        assert len(overrides) == 4
+        assert all(isinstance(c, InvolutionChannel) for c in overrides.values())
+
+    def test_factory_none_keeps_base_channel(self, chain):
+        overrides = channel_overrides(chain, lambda edge: None)
+        assert overrides == {}
+
+
+class TestEtaMonteCarlo:
+    def test_scenarios_are_deterministic_per_seed(self, exp_pair, eta_small):
+        circuit = inverter_chain(
+            3, lambda: EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
+        )
+        inputs = {"in": Signal.pulse(1.0, 4.0)}
+        first = run_many(circuit, eta_monte_carlo(circuit, inputs, 60.0, 5, seed=3))
+        second = run_many(circuit, eta_monte_carlo(circuit, inputs, 60.0, 5, seed=3))
+        other = run_many(circuit, eta_monte_carlo(circuit, inputs, 60.0, 5, seed=4))
+        firsts = [r.execution.output("out").transition_times() for r in first]
+        seconds = [r.execution.output("out").transition_times() for r in second]
+        others = [r.execution.output("out").transition_times() for r in other]
+        assert firsts == seconds
+        assert firsts != others
+
+    def test_runs_differ_from_each_other(self, exp_pair, eta_small):
+        circuit = inverter_chain(
+            3, lambda: EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
+        )
+        inputs = {"in": Signal.pulse(1.0, 4.0)}
+        sweep = run_many(circuit, eta_monte_carlo(circuit, inputs, 60.0, 4, seed=9))
+        outputs = {
+            tuple(r.execution.output("out").transition_times()) for r in sweep
+        }
+        assert len(outputs) > 1  # independent adversaries per run
+
+    def test_non_eta_edges_keep_base_channel(self, exp_pair):
+        circuit = inverter_chain(3, lambda: InvolutionChannel(exp_pair))
+        scenarios = eta_monte_carlo(circuit, {"in": Signal.zero()}, 10.0, 2)
+        assert all(s.channels == {} for s in scenarios)
+
+
+class TestSweepMap:
+    def test_sequential_identity(self):
+        assert sweep_map(lambda x: x * x, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert sweep_map(lambda x: x + 1, items, max_workers=4) == [
+            x + 1 for x in items
+        ]
+
+
+class TestEngineReuse:
+    def test_engine_run_is_repeatable(self, chain):
+        engine = Engine(CircuitTopology(chain))
+        inputs = {"in": Signal.pulse(1.0, 2.0)}
+        first = engine.run(inputs, 50.0)
+        second = engine.run(inputs, 50.0)
+        assert first.output("out") == second.output("out")
+        assert first.event_count == second.event_count

@@ -127,3 +127,30 @@ class TestComputeDeviations:
     def test_empty_coverage_is_nan(self, exp_pair):
         analysis = compute_deviations(DelayMeasurement(), exp_pair, eta_plus=0.05)
         assert np.isnan(analysis.coverage())
+
+
+class TestSimulatedEtaCoverage:
+    """Monte Carlo coverage via the batched sweep runner."""
+
+    def test_admissible_noise_is_fully_covered(self, exp_pair, eta_small):
+        from repro.fitting import simulated_eta_coverage
+
+        analysis = simulated_eta_coverage(
+            exp_pair, eta_small, stages=3, n_runs=8, seed=7
+        )
+        assert len(analysis.samples) > 0
+        # Every sampled shift is admissible, so the band must cover all
+        # deviations exactly; anything less is an engine/kernel regression.
+        assert analysis.coverage() == 1.0
+        assert analysis.max_abs_deviation() <= max(
+            eta_small.eta_plus, eta_small.eta_minus
+        ) + 1e-9
+
+    def test_deterministic_per_seed(self, exp_pair, eta_small):
+        from repro.fitting import simulated_eta_coverage
+
+        first = simulated_eta_coverage(exp_pair, eta_small, stages=2, n_runs=4, seed=3)
+        second = simulated_eta_coverage(exp_pair, eta_small, stages=2, n_runs=4, seed=3)
+        assert [s.deviation for s in first.samples] == [
+            s.deviation for s in second.samples
+        ]
