@@ -98,6 +98,35 @@ class GateType:
             table[row] = self.evaluate(row)
         return table
 
+    def __reduce__(self):
+        # Gate functions are typically lambdas (unpicklable), but every
+        # zero-time Boolean gate is fully described by its truth table, so
+        # gate types pickle by table instead -- which is what makes whole
+        # circuits picklable and the process-based sweep backend possible.
+        # Library gates restore to the registry instance (keeping the
+        # hand-written function, which is faster than a table lookup).
+        return (
+            _restore_gate_type,
+            (self.name, self.arity, tuple(sorted(self.truth_table().items()))),
+        )
+
+
+def _restore_gate_type(name: str, arity: int, rows: Tuple[Tuple[Tuple[int, ...], int], ...]) -> "GateType":
+    """Unpickle a :class:`GateType` (library instance or truth-table rebuild).
+
+    The library short-circuit requires the shipped truth table to match --
+    a custom gate that merely reuses a library name must restore to its
+    own function, not the library's.
+    """
+    library_gate = GATE_LIBRARY.get(name)
+    if (
+        library_gate is not None
+        and library_gate.arity == arity
+        and tuple(sorted(library_gate.truth_table().items())) == tuple(rows)
+    ):
+        return library_gate
+    return GateType.from_truth_table(name, arity, dict(rows))
+
 
 BUF = GateType("BUF", 1, lambda v: v[0])
 INV = GateType("INV", 1, lambda v: 1 - v[0])

@@ -20,6 +20,7 @@ Provided implementations:
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Callable, Optional, Sequence, Tuple
 
@@ -184,29 +185,32 @@ class ExpDelay(DelayFunction):
         # The threshold that enters the exponential: v_th for the rising
         # delay, 1 - v_th for the falling delay.
         self._v_eff = self.v_th if rising else 1.0 - self.v_th
+        # Per-polarity constants, hoisted out of the per-transition calls:
+        # delta(T) = tau * ln(1 - exp(-(T + shift) / tau)) + offset with
+        # shift = t_p - tau*ln(v_eff) and offset = t_p - tau*ln(1 - v_eff)
+        # (the latter is also delta_inf, the former's negative domain_low).
+        self._shift = self.t_p - self.tau * math.log(self._v_eff)
+        self._offset = self.t_p - self.tau * math.log(1.0 - self._v_eff)
+        self._inv_tau = 1.0 / self.tau
 
     # -- closed forms --------------------------------------------------- #
 
     def __call__(self, T: float) -> float:
-        v = self._v_eff
-        tau = self.tau
-        argument = 1.0 - math.exp(-(T + self.t_p - tau * math.log(v)) / tau)
+        argument = 1.0 - math.exp(-(T + self._shift) * self._inv_tau)
         if argument <= 0.0:
             return -math.inf
-        return tau * math.log(argument) + self.t_p - tau * math.log(1.0 - v)
+        return self.tau * math.log(argument) + self._offset
 
     def delta_inf(self) -> float:
-        return self.t_p - self.tau * math.log(1.0 - self._v_eff)
+        return self._offset
 
     def domain_low(self) -> float:
         # delta -> -inf as T -> -(t_p - tau*ln(v_eff)) which equals the
         # negative of the partner delay's delta_inf.
-        return -(self.t_p - self.tau * math.log(self._v_eff))
+        return -self._shift
 
     def derivative(self, T: float, h: float = 1e-6) -> float:
-        v = self._v_eff
-        tau = self.tau
-        e = math.exp(-(T + self.t_p - tau * math.log(v)) / tau)
+        e = math.exp(-(T + self._shift) * self._inv_tau)
         if e >= 1.0:
             return math.inf
         return e / (1.0 - e)
@@ -423,18 +427,63 @@ class TableDelay(DelayFunction):
         self._slope_left = slope_left
         self._tau_left = max(self._A / slope_left, float(T[0]) + float(d[0]), 1e-12)
         self._domain_low = float(T[0]) - self._tau_left
+        # Precomputed interpolation tables: per-segment slopes (shared by the
+        # scalar bisect path and the vectorized searchsorted path) plus plain
+        # Python float lists, which the scalar hot path indexes without any
+        # numpy-scalar boxing.
+        self._slopes = np.diff(d) / np.diff(T)
+        self._T_list = [float(x) for x in T]
+        self._d_list = [float(x) for x in d]
+        self._slope_list = [float(x) for x in self._slopes]
+        self._T0 = float(T[0])
+        self._Tn = float(T[-1])
+        self._d0 = float(d[0])
 
     def __call__(self, T: float) -> float:
-        T0, Tn = float(self.T_samples[0]), float(self.T_samples[-1])
         if T <= self._domain_low:
             return -math.inf
-        if T < T0:
-            return float(self.delta_samples[0]) + self._slope_left * self._tau_left * math.log(
-                1.0 + (T - T0) / self._tau_left
+        if T < self._T0:
+            return self._d0 + self._slope_left * self._tau_left * math.log(
+                1.0 + (T - self._T0) / self._tau_left
             )
-        if T > Tn:
-            return self._delta_inf - self._A * math.exp(-(T - Tn) / self._tau_tail)
-        return float(np.interp(T, self.T_samples, self.delta_samples))
+        if T > self._Tn:
+            return self._delta_inf - self._A * math.exp(-(T - self._Tn) / self._tau_tail)
+        T_list = self._T_list
+        i = bisect.bisect_right(T_list, T) - 1
+        if i >= len(T_list) - 1:
+            return self._d_list[-1]
+        return self._d_list[i] + self._slope_list[i] * (T - T_list[i])
+
+    def sample(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorized evaluation over an array of ``T`` values.
+
+        One ``np.searchsorted`` against the precomputed slope table replaces
+        the per-element Python calls of the generic implementation; the
+        extrapolation tails and the ``-inf`` domain guard are applied with
+        array masks, matching the scalar path exactly.
+        """
+        T = np.asarray(times, dtype=float)
+        out = np.empty(T.shape, dtype=float)
+        below = T <= self._domain_low
+        left = ~below & (T < self._T0)
+        right = T > self._Tn
+        inner = ~(below | left | right)
+        out[below] = -math.inf
+        if np.any(left):
+            out[left] = self._d0 + self._slope_left * self._tau_left * np.log(
+                1.0 + (T[left] - self._T0) / self._tau_left
+            )
+        if np.any(right):
+            out[right] = self._delta_inf - self._A * np.exp(
+                -(T[right] - self._Tn) / self._tau_tail
+            )
+        if np.any(inner):
+            idx = np.searchsorted(self.T_samples, T[inner], side="right") - 1
+            idx = np.clip(idx, 0, len(self._slopes) - 1)
+            out[inner] = self.delta_samples[idx] + self._slopes[idx] * (
+                T[inner] - self.T_samples[idx]
+            )
+        return out
 
     def delta_inf(self) -> float:
         return self._delta_inf

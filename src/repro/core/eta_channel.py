@@ -64,6 +64,17 @@ class EtaInvolutionChannel(Channel):
         self.eta = eta
         self.adversary = adversary if adversary is not None else ZeroAdversary()
         self._last_etas: List[float] = []
+        # Hot-path constants (delay_for runs once per transition): polarity
+        # function references, limits, domain edges and the admissible
+        # interval, hoisted out of the per-call method lookups.
+        self._delta_up = pair.delta_up
+        self._delta_down = pair.delta_down
+        self._up_inf = pair.delta_up.delta_inf()
+        self._down_inf = pair.delta_down.delta_inf()
+        self._up_low = pair.delta_up.domain_low()
+        self._down_low = pair.delta_down.domain_low()
+        self._eta_lo = -eta.eta_minus - 1e-12
+        self._eta_hi = eta.eta_plus + 1e-12
 
     # ------------------------------------------------------------------ #
     # Constructors / accessors
@@ -135,22 +146,25 @@ class EtaInvolutionChannel(Channel):
         self._last_etas = []
 
     def delay_for(self, T: float, rising_output: bool, index: int, time: float) -> float:
-        delta = self.pair.delta_up if rising_output else self.pair.delta_down
+        if rising_output:
+            delta, inf_limit, low = self._delta_up, self._up_inf, self._up_low
+        else:
+            delta, inf_limit, low = self._delta_down, self._down_inf, self._down_low
         eta_n = self.adversary.choose(index, time, rising_output, T, self.eta)
-        if not self.eta.contains(eta_n):
+        if not (self._eta_lo <= eta_n <= self._eta_hi):
             raise ValueError(
                 f"adversary produced inadmissible shift {eta_n} outside "
                 f"[-{self.eta.eta_minus}, {self.eta.eta_plus}]"
             )
         self._last_etas.append(eta_n)
-        if math.isinf(T) and T > 0:
-            return delta.delta_inf() + eta_n
+        if T == math.inf:
+            return inf_limit + eta_n
         # The max-term guard of the paper: arguments at or below the domain
         # edge of the delay function (written -delta_up_inf in the paper for
         # the symmetric case; the edge is -delta_down_inf for delta_up in
         # general) yield a -inf delay, which makes the transition cancel with
         # its still-pending predecessor.
-        if T <= delta.domain_low():
+        if T <= low:
             return -math.inf
         value = delta(T)
         if not math.isfinite(value):

@@ -51,6 +51,15 @@ class InvolutionChannel(Channel):
         super().__init__(inverting=inverting, name=name)
         self.pair = pair
         self.guard_domain = bool(guard_domain)
+        # Hot-path constants: delay_for runs once per transition, so the
+        # per-polarity function references, limits and domain edges are
+        # hoisted here instead of being re-derived via method calls.
+        self._delta_up = pair.delta_up
+        self._delta_down = pair.delta_down
+        self._up_inf = pair.delta_up.delta_inf()
+        self._down_inf = pair.delta_down.delta_inf()
+        self._up_low = pair.delta_up.domain_low()
+        self._down_low = pair.delta_down.domain_low()
 
     # ------------------------------------------------------------------ #
 
@@ -85,13 +94,14 @@ class InvolutionChannel(Channel):
     # ------------------------------------------------------------------ #
 
     def delay_for(self, T: float, rising_output: bool, index: int, time: float) -> float:
-        delta = self.pair.delta_up if rising_output else self.pair.delta_down
-        if math.isinf(T) and T > 0:
-            return delta.delta_inf()
-        if self.guard_domain:
-            low = delta.domain_low()
-            if T <= low:
-                return -math.inf
+        if rising_output:
+            delta, inf_limit, low = self._delta_up, self._up_inf, self._up_low
+        else:
+            delta, inf_limit, low = self._delta_down, self._down_inf, self._down_low
+        if T == math.inf:
+            return inf_limit
+        if self.guard_domain and T <= low:
+            return -math.inf
         return delta(T)
 
     def __repr__(self) -> str:

@@ -19,6 +19,7 @@ transition at or before ``t``.
 from __future__ import annotations
 
 import math
+from array import array as _array
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -41,7 +42,7 @@ class SignalError(ValueError):
     """Raised when a list of transitions violates the signal invariants."""
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Transition:
     """A single transition of a binary signal.
 
@@ -75,6 +76,12 @@ class Transition:
     def shifted(self, delta: float) -> "Transition":
         """Return a copy of this transition shifted by ``delta`` in time."""
         return Transition(self.time + delta, self.value)
+
+    def __reduce__(self):
+        # Plain constructor-args pickling: much cheaper than the default
+        # slots-state protocol (executions shipped between sweep workers
+        # contain hundreds of thousands of transitions).
+        return (Transition, (self.time, self.value))
 
     def inverted(self) -> "Transition":
         """Return a copy with the opposite value (used by inverting gates)."""
@@ -166,6 +173,21 @@ class Signal:
         signal._initial_value = initial_value
         signal._transitions = tuple(transitions)
         return signal
+
+    def __reduce__(self):
+        # Packed pickling: times as a double array, values as one byte
+        # each.  The process-based sweep backend ships whole executions
+        # (dozens of signals per run) back to the parent, and packing beats
+        # per-Transition object pickling by roughly an order of magnitude.
+        times = _array("d")
+        values = bytearray()
+        for tr in self._transitions:
+            times.append(tr.time)
+            values.append(tr.value)
+        return (
+            _signal_from_packed,
+            (self._initial_value, times.tobytes(), bytes(values)),
+        )
 
     @classmethod
     def constant(cls, value: int) -> "Signal":
@@ -461,3 +483,12 @@ def _validate_transitions(
             )
         previous_time = tr.time
         previous_value = tr.value
+
+
+def _signal_from_packed(initial_value: int, times: bytes, values: bytes) -> Signal:
+    """Rebuild a pickled :class:`Signal` from its packed representation."""
+    unpacked = _array("d")
+    unpacked.frombytes(times)
+    return Signal._trusted(
+        initial_value, [Transition(t, v) for t, v in zip(unpacked, values)]
+    )

@@ -31,11 +31,12 @@ from __future__ import annotations
 
 import itertools
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..core.transitions import Signal, Transition
-from .errors import CausalityError
+from .errors import CausalityError, SimulationError
 
 __all__ = [
     "PendingTransition",
@@ -48,7 +49,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingTransition:
     """A tentative output transition before cancellation.
 
@@ -84,13 +85,14 @@ class PendingTransition:
         return self.input_time + self.delay
 
 
-@dataclass(frozen=True)
-class KernelEvent:
+class KernelEvent(NamedTuple):
     """A newly scheduled channel-output transition.
 
     Returned by :meth:`ChannelKernel.feed`/:meth:`ChannelKernel.commit` so
     an event-driven scheduler can enqueue the delivery; ``event_id`` is the
-    handle to pass back to :meth:`ChannelKernel.deliver`.
+    handle to pass back to :meth:`ChannelKernel.deliver`.  A named tuple:
+    one is allocated per scheduled transition, and tuple construction is
+    several times cheaper than a (frozen) dataclass.
     """
 
     time: float
@@ -138,6 +140,14 @@ class ChannelKernel:
         otherwise accumulate without ever being drained -- the bookkeeping
         leak of the former ``_EdgeState``).  Offline evaluation uses no
         external queue and keeps the default ``-inf``.
+    tombstones:
+        Optional shared tombstone set.  Event ids are globally unique (the
+        engine shares one id counter across all kernels), so every kernel
+        of a run can write cancellations into the *same* set; the
+        :class:`~repro.engine.scheduler.Scheduler` reads it to discard
+        cancelled delivery events lazily at pop time, before they ever
+        reach a batch.  Defaults to a private per-kernel set (offline and
+        standalone use).
     """
 
     __slots__ = (
@@ -146,6 +156,10 @@ class ChannelKernel:
         "on_causality",
         "queue_horizon",
         "_next_id",
+        "_shared_tombstones",
+        "_delay_for",
+        "_inverting",
+        "_rejection_window",
         "input_initial_value",
         "last_input_time",
         "last_delay",
@@ -154,6 +168,7 @@ class ChannelKernel:
         "delivered_value",
         "last_delivered_time",
         "pending",
+        "_pending_index",
         "delivered",
         "cancelled_ids",
         "dropped",
@@ -168,6 +183,7 @@ class ChannelKernel:
         id_source: Optional[Callable[[], int]] = None,
         on_causality: str = "error",
         queue_horizon: float = -math.inf,
+        tombstones: Optional[Set[int]] = None,
     ) -> None:
         if on_causality not in ("error", "drop"):
             raise ValueError("on_causality must be 'error' or 'drop'")
@@ -176,6 +192,7 @@ class ChannelKernel:
         self.on_causality = on_causality
         self.queue_horizon = queue_horizon
         self._next_id = id_source if id_source is not None else itertools.count().__next__
+        self._shared_tombstones = tombstones
         self.reset(input_initial_value)
 
     # -- state ----------------------------------------------------------- #
@@ -194,18 +211,35 @@ class ChannelKernel:
             else self.input_initial_value
         )
         self.last_delivered_time = -math.inf
-        #: Scheduled-but-undelivered outputs, time-sorted:
+        #: Scheduled-but-undelivered outputs as a time-sorted maturity
+        #: frontier (a deque: cancellation pops from the right, delivery
+        #: from the left, both O(1)):
         #: ``(time, value, event_id, generating PendingTransition or None)``.
-        self.pending: List[Tuple[float, int, int, Optional[PendingTransition]]] = []
+        self.pending: Deque[Tuple[float, int, int, Optional[PendingTransition]]] = deque()
+        #: ``event_id -> pending entry`` index (O(1) delivery lookup).
+        self._pending_index: Dict[int, Tuple[float, int, int, Optional[PendingTransition]]] = {}
         #: Delivered output transitions, in delivery order.
         self.delivered: List[Transition] = []
         #: Tombstones of cancelled transitions whose delivery event is still
-        #: in the external event queue.
-        self.cancelled_ids: set = set()
+        #: in the external event queue (shared with the scheduler when the
+        #: engine drives this kernel).
+        self.cancelled_ids: Set[int] = (
+            self._shared_tombstones if self._shared_tombstones is not None else set()
+        )
         #: Transitions discarded by the ``on_causality="drop"`` policy.
         self.dropped = 0
-        if self.channel is not None:
-            self.channel.reset()
+        channel = self.channel
+        if channel is not None:
+            channel.reset()
+        # Per-transition hot-path constants: the channel's delay function,
+        # inversion flag and inertial window are fixed for the lifetime of a
+        # run, so the attribute/method lookups are hoisted out of
+        # tentative()/commit().
+        self._delay_for = channel.delay_for if channel is not None else None
+        self._inverting = bool(channel.inverting) if channel is not None else False
+        self._rejection_window = (
+            channel.rejection_window() if channel is not None else 0.0
+        )
 
     def finalize(self) -> None:
         """Drop end-of-run bookkeeping (pending past the horizon, tombstones).
@@ -217,6 +251,7 @@ class ChannelKernel:
         assembled execution.
         """
         self.pending.clear()
+        self._pending_index.clear()
         self.cancelled_ids.clear()
 
     # -- tentative phase -------------------------------------------------- #
@@ -227,14 +262,12 @@ class ChannelKernel:
         Updates the previous-output bookkeeping regardless of later
         cancellation, exactly as the paper's algorithm prescribes.
         """
-        channel = self.channel
-        if math.isinf(self.last_input_time):
+        if self.last_input_time == -math.inf:
             T = math.inf
         else:
             T = time - self.last_input_time - self.last_delay
-        out_value = (1 - value) if channel.inverting else value
-        rising_output = out_value == 1
-        delay = channel.delay_for(T, rising_output, self.transition_count, time)
+        out_value = (1 - value) if self._inverting else value
+        delay = self._delay_for(T, out_value == 1, self.transition_count, time)
         self.last_input_time = time
         self.last_delay = delay
         self.last_input_value = value
@@ -253,20 +286,17 @@ class ChannelKernel:
         out_time = p.output_time
         # Transport cancellation: remove still-pending outputs at >= out_time
         # (matured outputs have been delivered and are no longer pending).
+        # The frontier is time-sorted, so the cancelled entries are exactly
+        # a suffix -- popped from the right, O(1) each, instead of the
+        # full-list rebuild the pre-optimization kernel performed.
         pending = self.pending
-        if pending and pending[-1][0] >= out_time:
-            kept = []
-            for entry in pending:
-                if entry[0] >= out_time:
-                    self._cancel(entry)
-                else:
-                    kept.append(entry)
-            self.pending = pending = kept
+        while pending and pending[-1][0] >= out_time:
+            self._cancel(pending.pop())
 
         # Inertial pulse rejection: an output pulse narrower than the
         # channel's rejection window is removed entirely (both its
         # transitions), matching the offline remove_short_pulses filter.
-        window = self.channel.rejection_window() if self.channel else 0.0
+        window = self._rejection_window
         if window > 0.0 and pending and out_time - pending[-1][0] < window:
             self._cancel(pending.pop())
             p.cancelled = True
@@ -293,7 +323,9 @@ class ChannelKernel:
             self.dropped += 1
             return None
         event_id = self._next_id()
-        pending.append((out_time, p.value, event_id, p))
+        entry = (out_time, p.value, event_id, p)
+        pending.append(entry)
+        self._pending_index[event_id] = entry
         return KernelEvent(out_time, p.value, event_id)
 
     def feed(self, time: float, value: int) -> Optional[KernelEvent]:
@@ -302,13 +334,57 @@ class ChannelKernel:
         Same-value inputs (no transition at the channel's input) are
         ignored, mirroring the event-driven simulator's behaviour for gate
         outputs that glitch back within a delta cycle.
+
+        This is the engine's per-transition hot path: it runs the fused
+        tentative+commit logic inline, without allocating the
+        :class:`PendingTransition` bookkeeping object the offline two-phase
+        API exposes.  It must mirror :meth:`tentative` followed by
+        :meth:`commit` exactly -- the online/offline equivalence tests pin
+        that property.
         """
         if value == self.last_input_value:
             return None
-        return self.commit(self.tentative(time, value))
+        # -- fused tentative phase -- #
+        if self.last_input_time == -math.inf:
+            T = math.inf
+        else:
+            T = time - self.last_input_time - self.last_delay
+        out_value = (1 - value) if self._inverting else value
+        delay = self._delay_for(T, out_value == 1, self.transition_count, time)
+        self.last_input_time = time
+        self.last_delay = delay
+        self.last_input_value = value
+        self.transition_count += 1
+        out_time = time + delay
+        # -- fused cancellation phase -- #
+        pending = self.pending
+        while pending and pending[-1][0] >= out_time:
+            self._cancel(pending.pop())
+        window = self._rejection_window
+        if window > 0.0 and pending and out_time - pending[-1][0] < window:
+            self._cancel(pending.pop())
+            return None
+        if not math.isfinite(out_time):
+            return None
+        if out_time <= self.last_delivered_time:
+            if out_value == self.delivered_value:
+                return None
+            if self.on_causality == "error":
+                raise CausalityError(
+                    f"channel {self.name!r} scheduled an output at {out_time:g} "
+                    f"but already delivered one at {self.last_delivered_time:g}"
+                )
+            self.dropped += 1
+            return None
+        event_id = self._next_id()
+        entry = (out_time, out_value, event_id, None)
+        pending.append(entry)
+        self._pending_index[event_id] = entry
+        return KernelEvent(out_time, out_value, event_id)
 
     def _cancel(self, entry: Tuple[float, int, int, Optional[PendingTransition]]) -> None:
         time, _value, event_id, p = entry
+        self._pending_index.pop(event_id, None)
         if time <= self.queue_horizon:
             # Only events actually sitting in the external queue need a
             # tombstone; ids of never-enqueued (past-horizon) events would
@@ -323,16 +399,41 @@ class ChannelKernel:
         """Deliver a scheduled output transition (online mode).
 
         Returns True if the channel output actually changed (the engine
-        then propagates the transition to the target node).
+        then propagates the transition to the target node).  An
+        ``event_id`` that is neither pending nor tombstoned can only mean
+        scheduler/kernel state divergence and raises
+        :class:`~repro.engine.errors.SimulationError`.
         """
         if event_id in self.cancelled_ids:
             self.cancelled_ids.discard(event_id)
             return False
-        for index, entry in enumerate(self.pending):
-            if entry[2] == event_id:
-                del self.pending[index]
-                return self._deliver_value(time, value, entry[3])
-        return self._deliver_value(time, value, None)
+        entry = self._pending_index.pop(event_id, None)
+        if entry is None:
+            raise SimulationError(
+                f"channel {self.name!r} asked to deliver event {event_id} which is "
+                "neither pending nor cancelled -- scheduler and kernel state have "
+                "diverged"
+            )
+        pending = self.pending
+        if pending and pending[0] is entry:
+            # Deliveries arrive in time order, so the entry is the frontier
+            # head in every engine-driven run; the O(n) removal below only
+            # serves out-of-order standalone use.
+            pending.popleft()
+        else:
+            pending.remove(entry)
+        # Inlined _deliver_value (per-delivery hot path).
+        p = entry[3]
+        if value == self.delivered_value:
+            if p is not None:
+                p.cancelled = True
+            return False
+        self.delivered_value = value
+        self.last_delivered_time = time
+        self.delivered.append(Transition(time, value))
+        if p is not None:
+            p.cancelled = False
+        return True
 
     def deliver_immediate(self, time: float, value: int) -> bool:
         """Zero-delay delivery used for :class:`ZeroDelayChannel` edges.
@@ -376,8 +477,10 @@ class ChannelKernel:
         delivered it), so it can no longer be transport-cancelled.
         """
         pending = self.pending
+        index = self._pending_index
         while pending and pending[0][0] <= up_to_time:
-            time, value, _event_id, p = pending.pop(0)
+            time, value, event_id, p = pending.popleft()
+            index.pop(event_id, None)
             self._deliver_value(time, value, p)
 
     def flush(self) -> None:

@@ -1,25 +1,33 @@
 """Event scheduler and execution engine for circuits of single-history channels.
 
 This module hosts the machinery that used to live inside the 475-line
-``Simulator.run``: the heapq event queue with same-time batching
-(:class:`Scheduler`), the validated/precomputed structural view of a
-circuit (:class:`CircuitTopology`), and the main event loop
-(:class:`Engine`).  :class:`repro.circuits.simulator.Simulator` is now a
-thin compatibility wrapper around these classes, and the batched sweep
-runner (:mod:`repro.engine.sweep`) reuses one :class:`CircuitTopology`
-across many runs.
+``Simulator.run``: the heapq event queue with same-time batching and lazy
+tombstone deletion (:class:`Scheduler`), the validated/precomputed
+structural view of a circuit (:class:`CircuitTopology`), and the main
+event loop (:class:`Engine`).  :class:`repro.circuits.simulator.Simulator`
+is a thin compatibility wrapper around these classes, and the batched
+sweep runner (:mod:`repro.engine.sweep`) reuses one
+:class:`CircuitTopology` across many runs.
 
-The event protocol is deliberately small -- three event kinds:
+The event protocol is deliberately small -- three integer event kinds:
 
-* ``PORT``    -- an input-port transition ``(port_name, value)``,
-* ``DELIVER`` -- a channel-output delivery ``(edge_name, value, event_id)``,
-* ``SETTLE``  -- the time-0 gate settling pass ``(gate_name, ...)``.
+* ``PORT``    -- an input-port transition ``(port_id, value)``,
+* ``DELIVER`` -- a channel-output delivery ``(edge_id, value, event_id)``,
+* ``SETTLE``  -- the time-0 gate settling pass ``(gate_id, ...)``.
 
 All per-channel semantics (tentative delays, transport cancellation,
 inertial rejection, no-change suppression) live in the shared
 :class:`~repro.engine.kernel.ChannelKernel`; the engine only routes
 delivered transitions to gates and ports and performs the zero-time
 (delta-cycle) propagation of changed node outputs.
+
+Hot-path design: :class:`CircuitTopology` assigns every node and edge a
+dense integer id and precomputes per-gate and per-edge dispatch tables
+(direct gate-function and kernel object references), so the main loop runs
+on list indexing instead of string-keyed dict lookups.  Cancelled channel
+deliveries never reach a batch -- the kernels tombstone them in a set
+shared with the scheduler, which discards them lazily during
+:meth:`Scheduler.pop_batch`.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.transitions import Signal, Transition
 from .errors import SimulationError
@@ -43,43 +51,70 @@ __all__ = [
     "Engine",
 ]
 
-#: Event kinds of the engine's event protocol.
-PORT = "port"
-DELIVER = "deliver"
-SETTLE = "settle"
+#: Event kinds of the engine's event protocol (small ints: the batch loop
+#: dispatches on them with integer comparisons).
+PORT = 0
+DELIVER = 1
+SETTLE = 2
+
+#: Node kinds of the precomputed topology tables.
+_NODE_INPUT = 0
+_NODE_GATE = 1
+_NODE_OUTPUT = 2
 
 
 class Scheduler:
-    """A time-ordered event queue with same-time batching.
+    """A time-ordered event queue with same-time batching and lazy deletion.
 
     Events pushed at the exact same time are popped together in one batch
     so that gates see all their simultaneous input changes at once (delta
     cycle semantics) instead of producing zero-time glitches.  The internal
     monotonic counter breaks ties deterministically and doubles as the
     event-id source shared with the channel kernels.
+
+    The kernels record transport-cancelled delivery events in
+    :attr:`tombstones` (a set shared across all kernels of a run -- event
+    ids are globally unique); :meth:`pop_batch` discards those events
+    lazily while popping, so cancelled deliveries never reach a batch and
+    are never counted as processed events.
     """
 
-    def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, str, object]] = []
+    def __init__(self, tombstones: Optional[Set[int]] = None) -> None:
+        self._heap: List[Tuple[float, int, int, object]] = []
         self._counter = itertools.count()
+        #: Event ids of cancelled deliveries, shared with the kernels.
+        self.tombstones: Set[int] = tombstones if tombstones is not None else set()
 
     def next_id(self) -> int:
         """A fresh monotonically increasing id (shared with the kernels)."""
         return next(self._counter)
 
-    def push(self, time: float, kind: str, payload: object) -> None:
+    def push(self, time: float, kind: int, payload: object) -> None:
         """Schedule one event."""
         heapq.heappush(self._heap, (time, next(self._counter), kind, payload))
 
-    def pop_batch(self) -> Tuple[float, List[Tuple[str, object]]]:
-        """Pop every event scheduled for the earliest pending time."""
-        time, _, kind, payload = heapq.heappop(self._heap)
-        batch = [(kind, payload)]
+    def pop_batch(self) -> Optional[Tuple[float, List[Tuple[int, object]]]]:
+        """Pop every live event scheduled for the earliest pending time.
+
+        Tombstoned deliveries are skipped (their tombstone is consumed).
+        Returns ``None`` when no live event remains.
+        """
         heap = self._heap
-        while heap and heap[0][0] == time:
-            _, _, more_kind, more_payload = heapq.heappop(heap)
-            batch.append((more_kind, more_payload))
-        return time, batch
+        tombstones = self.tombstones
+        while heap:
+            time, _, kind, payload = heapq.heappop(heap)
+            if kind == DELIVER and payload[2] in tombstones:
+                tombstones.discard(payload[2])
+                continue
+            batch = [(kind, payload)]
+            while heap and heap[0][0] == time:
+                _, _, more_kind, more_payload = heapq.heappop(heap)
+                if more_kind == DELIVER and more_payload[2] in tombstones:
+                    tombstones.discard(more_payload[2])
+                    continue
+                batch.append((more_kind, more_payload))
+            return time, batch
+        return None
 
     def __bool__(self) -> bool:
         return bool(self._heap)
@@ -92,10 +127,19 @@ class CircuitTopology:
     """Validated, precomputed structural view of a circuit.
 
     Building one is O(nodes x edges) (validation plus adjacency); the
-    engine's event loop then runs entirely on dict lookups.  A topology is
-    immutable with respect to the circuit structure and can be shared
-    across many runs (and across threads) -- this amortisation is what the
-    batched sweep runner is built on.
+    engine's event loop then runs entirely on dense-integer list indexing.
+    A topology is immutable with respect to the circuit structure and can
+    be shared across many runs (and across threads/processes) -- this
+    amortisation is what the batched sweep runner is built on.
+
+    Two layers of precomputation coexist:
+
+    * the string-keyed maps of the original refactor (``edges``,
+      ``gate_inputs``, ``edges_from``...) -- the stable introspection API,
+    * dense integer dispatch tables (``node_index``/``edge_index`` ids,
+      per-gate input-edge ids and gate-function references, per-edge
+      source/target ids and target-kind flags) that the engine's hot loop
+      indexes directly.
     """
 
     def __init__(self, circuit) -> None:
@@ -149,6 +193,68 @@ class CircuitTopology:
             for ename, edge in self.edges.items()
         }
 
+        # -- integer dispatch tables (the engine hot path) ----------------- #
+        #: Node names in id order / name -> dense integer id.
+        self.node_names: List[str] = list(nodes)
+        self.node_index: Dict[str, int] = {
+            name: nid for nid, name in enumerate(self.node_names)
+        }
+        #: Edge names in id order / name -> dense integer id / Edge by id.
+        self.edge_names: List[str] = list(self.edges)
+        self.edge_index: Dict[str, int] = {
+            name: eid for eid, name in enumerate(self.edge_names)
+        }
+        self.edge_list: List[object] = [self.edges[name] for name in self.edge_names]
+        node_index = self.node_index
+        n_nodes = len(self.node_names)
+        #: Node kind by id (``_NODE_INPUT``/``_NODE_GATE``/``_NODE_OUTPUT``).
+        self.node_kind: List[int] = [
+            _NODE_GATE
+            if name in self.is_gate
+            else (_NODE_OUTPUT if name in self.is_output else _NODE_INPUT)
+            for name in self.node_names
+        ]
+        self.input_port_ids: List[int] = [node_index[p] for p in self.input_ports]
+        self.output_port_ids: List[int] = [node_index[p] for p in self.output_ports]
+        self.gate_ids: List[int] = [node_index[g] for g in self.gate_names]
+        #: Per-edge integer endpoints and target-kind flags.
+        self.edge_source_id: List[int] = [
+            node_index[e.source] for e in self.edge_list
+        ]
+        self.edge_target_id: List[int] = [
+            node_index[e.target] for e in self.edge_list
+        ]
+        self.edge_target_kind: List[int] = [
+            self.node_kind[tid] for tid in self.edge_target_id
+        ]
+        #: Per-node gate tables (``None`` for non-gates): direct
+        #: gate-function reference and driving edge ids in pin order.
+        self.gate_func_by_node: List[Optional[object]] = [None] * n_nodes
+        self.gate_input_edge_ids: List[Optional[Tuple[int, ...]]] = [None] * n_nodes
+        self.gate_initial_by_node: List[int] = [0] * n_nodes
+        edge_index = self.edge_index
+        for gname in self.gate_names:
+            gid = node_index[gname]
+            # Enumerating the truth table runs GateType.evaluate over every
+            # input combination once, so bad gate functions (non-Boolean
+            # results, wrong arity) still fail fast here -- at topology
+            # build, with the gate named -- while the event loop dispatches
+            # through the validated table's C-level __getitem__.
+            self.gate_func_by_node[gid] = self.gate_types[gname].truth_table().__getitem__
+            self.gate_input_edge_ids[gid] = tuple(
+                edge_index[ename] for ename in self.gate_inputs[gname]
+            )
+            self.gate_initial_by_node[gid] = self.gate_initial[gname]
+        #: Edge ids driven by each node id.
+        self.out_edge_ids: List[Tuple[int, ...]] = [
+            tuple(edge_index[e.name] for e in self.edges_from[name])
+            for name in self.node_names
+        ]
+        #: Zero-delay base flags by edge id.
+        self.base_zero_delay_by_id: List[bool] = [
+            self.base_zero_delay[name] for name in self.edge_names
+        ]
+
 
 @dataclass
 class Execution:
@@ -167,7 +273,9 @@ class Execution:
     end_time:
         The simulation horizon that was used.
     event_count:
-        Number of processed events (a simulator-performance metric).
+        Number of processed events (a simulator-performance metric;
+        transport-cancelled deliveries are discarded in the scheduler and
+        not counted).
     dropped_transitions:
         Number of transitions discarded by the ``on_causality="drop"`` policy.
     """
@@ -272,119 +380,150 @@ class Engine:
 
         scheduler = Scheduler()
 
-        # --- initial values ------------------------------------------------
-        node_values: Dict[str, int] = {}
-        node_transitions: Dict[str, List[Transition]] = {}
-        for pname in topo.input_ports:
-            node_values[pname] = inputs[pname].initial_value
-            node_transitions[pname] = []
-        for gname in topo.gate_names:
-            node_values[gname] = topo.gate_initial[gname]
-            node_transitions[gname] = []
-        for oname in topo.output_ports:
-            node_values[oname] = 0  # defined by the driving channel below
-            node_transitions[oname] = []
+        # --- per-run tables, indexed by dense node/edge id -----------------
+        n_nodes = len(topo.node_names)
+        node_values: List[int] = [0] * n_nodes
+        node_transitions: List[List[Transition]] = [[] for _ in range(n_nodes)]
+        input_signal_by_id: List[Optional[Signal]] = [None] * n_nodes
+        for pid, pname in zip(topo.input_port_ids, topo.input_ports):
+            signal = inputs[pname]
+            node_values[pid] = signal.initial_value
+            input_signal_by_id[pid] = signal
+        for gid in topo.gate_ids:
+            node_values[gid] = topo.gate_initial_by_node[gid]
 
-        kernels: Dict[str, ChannelKernel] = {}
-        zero_delay: Dict[str, bool] = dict(topo.base_zero_delay)
-        run_channels: Dict[str, object] = {}
-        for ename, edge in topo.edges.items():
+        kernels: List[ChannelKernel] = []
+        zero_delay: List[bool] = list(topo.base_zero_delay_by_id)
+        run_channels: List[object] = []
+        for eid, edge in enumerate(topo.edge_list):
+            ename = topo.edge_names[eid]
             if channels and ename in channels:
                 channel = channels[ename]
-                zero_delay[ename] = isinstance(channel, topo.zero_delay_class)
+                zero_delay[eid] = isinstance(channel, topo.zero_delay_class)
             else:
                 channel = edge.channel
-            run_channels[ename] = channel
-            kernels[ename] = ChannelKernel(
-                channel,
-                input_initial_value=node_values[edge.source],
-                name=ename,
-                id_source=scheduler.next_id,
-                on_causality=self.on_causality,
-                queue_horizon=end_time,
+            run_channels.append(channel)
+            kernels.append(
+                ChannelKernel(
+                    channel,
+                    input_initial_value=node_values[topo.edge_source_id[eid]],
+                    name=ename,
+                    id_source=scheduler.next_id,
+                    on_causality=self.on_causality,
+                    queue_horizon=end_time,
+                    tombstones=scheduler.tombstones,
+                )
             )
-        for oname in topo.output_ports:
-            node_values[oname] = kernels[topo.output_driver[oname].name].delivered_value
+        for oid, oname in zip(topo.output_port_ids, topo.output_ports):
+            driver_eid = topo.edge_index[topo.output_driver[oname].name]
+            node_values[oid] = kernels[driver_eid].delivered_value
+
+        #: Per-gate direct kernel references in pin order (gate evaluation
+        #: reads delivered values off these without any name lookups).
+        gate_input_kernels: List[Optional[Tuple[ChannelKernel, ...]]] = [None] * n_nodes
+        for gid in topo.gate_ids:
+            gate_input_kernels[gid] = tuple(
+                kernels[eid] for eid in topo.gate_input_edge_ids[gid]
+            )
+        gate_funcs = topo.gate_func_by_node
+        out_edge_ids = topo.out_edge_ids
+        edge_target_id = topo.edge_target_id
+        edge_target_kind = topo.edge_target_kind
 
         # --- primary events -------------------------------------------------
-        for pname in topo.input_ports:
-            for tr in inputs[pname]:
+        for pid in topo.input_port_ids:
+            for tr in input_signal_by_id[pid]:
                 if tr.time <= end_time:
-                    scheduler.push(tr.time, PORT, (pname, tr.value))
+                    scheduler.push(tr.time, PORT, (pid, tr.value))
 
         event_count = 0
 
         # --- helpers ---------------------------------------------------------
 
-        def record_node_transition(nname: str, time: float, value: int) -> None:
+        def record_node_transition(nid: int, time: float, value: int) -> None:
             """Record a node-output transition, collapsing zero-width glitches.
 
             Two transitions of a node at exactly the same time form a
             zero-width glitch (the value reverts within the same instant);
             both are removed, keeping the recorded signal well formed.
             """
-            transitions = node_transitions[nname]
+            transitions = node_transitions[nid]
             if transitions and transitions[-1].time == time:
                 transitions.pop()
             else:
                 transitions.append(Transition(time, value))
 
-        def evaluate_gate(gname: str, time: float) -> bool:
+        def evaluate_gate(gid: int, time: float) -> bool:
             """Re-evaluate a gate; record and return True if its output changed."""
-            values = [kernels[e].delivered_value for e in topo.gate_inputs[gname]]
-            new_value = topo.gate_types[gname].evaluate(values)
-            if new_value == node_values[gname]:
+            new_value = gate_funcs[gid](
+                tuple([k.delivered_value for k in gate_input_kernels[gid]])
+            )
+            if new_value == node_values[gid]:
                 return False
-            node_values[gname] = new_value
-            record_node_transition(gname, time, new_value)
+            node_values[gid] = new_value
+            record_node_transition(gid, time, new_value)
             return True
 
         # --- settle gates at time 0 ------------------------------------------
         # Gate initial values may be inconsistent with their input initial
         # values; the execution then has the gate switching at time 0.
-        if topo.gate_names:
-            scheduler.push(0.0, SETTLE, tuple(topo.gate_names))
+        if topo.gate_ids:
+            scheduler.push(0.0, SETTLE, tuple(topo.gate_ids))
 
         # --- main loop ---------------------------------------------------------
-        while scheduler:
-            time, batch = scheduler.pop_batch()
+        max_events = self.max_events
+        pop_batch = scheduler.pop_batch
+        # Hoisted per-batch containers (cleared instead of reallocated; the
+        # loop runs once per distinct event time).
+        gates_to_evaluate: List[int] = []
+        gates_seen: Set[int] = set()
+        while True:
+            popped = pop_batch()
+            if popped is None:
+                break
+            time, batch = popped
             if time > end_time:
                 break
             event_count += len(batch)
-            if event_count > self.max_events:
+            if event_count > max_events:
                 raise SimulationError(
-                    f"exceeded max_events={self.max_events}; "
+                    f"exceeded max_events={max_events}; "
                     "the circuit may be oscillating (raise the limit or shorten end_time)"
                 )
 
-            changed_nodes: List[str] = []
-            gates_to_evaluate: List[str] = []
+            changed_nodes: List[int] = []
+            if gates_to_evaluate:
+                gates_to_evaluate.clear()
+                gates_seen.clear()
             for batch_kind, batch_payload in batch:
-                if batch_kind == PORT:
-                    pname, value = batch_payload
-                    if node_values[pname] != value:
-                        node_values[pname] = value
-                        record_node_transition(pname, time, value)
-                        changed_nodes.append(pname)
-                elif batch_kind == DELIVER:
-                    ename, value, event_id = batch_payload
-                    if kernels[ename].deliver(event_id, value, time):
-                        target = topo.edges[ename].target
-                        if target in topo.is_gate:
-                            if target not in gates_to_evaluate:
-                                gates_to_evaluate.append(target)
-                        elif target in topo.is_output:
-                            node_values[target] = value
-                            record_node_transition(target, time, value)
+                if batch_kind == DELIVER:
+                    eid, value, event_id = batch_payload
+                    if kernels[eid].deliver(event_id, value, time):
+                        kind = edge_target_kind[eid]
+                        tid = edge_target_id[eid]
+                        if kind == _NODE_GATE:
+                            if tid not in gates_seen:
+                                gates_seen.add(tid)
+                                gates_to_evaluate.append(tid)
+                        elif kind == _NODE_OUTPUT:
+                            node_values[tid] = value
+                            record_node_transition(tid, time, value)
+                elif batch_kind == PORT:
+                    pid, value = batch_payload
+                    if node_values[pid] != value:
+                        node_values[pid] = value
+                        record_node_transition(pid, time, value)
+                        changed_nodes.append(pid)
                 elif batch_kind == SETTLE:
-                    for gname in batch_payload:
-                        if gname not in gates_to_evaluate:
-                            gates_to_evaluate.append(gname)
+                    for gid in batch_payload:
+                        if gid not in gates_seen:
+                            gates_seen.add(gid)
+                            gates_to_evaluate.append(gid)
                 else:  # pragma: no cover - defensive
                     raise SimulationError(f"unknown event kind {batch_kind!r}")
-            for gname in gates_to_evaluate:
-                if evaluate_gate(gname, time):
-                    changed_nodes.append(gname)
+            for gid in gates_to_evaluate:
+                if evaluate_gate(gid, time):
+                    changed_nodes.append(gid)
 
             # Zero-time propagation of changed node outputs into their channels.
             # Zero-delay channels deliver immediately (delta cycles); bounded
@@ -397,34 +536,37 @@ class Engine:
                         "combinational (zero-delay) loop detected at "
                         f"time {time:g}"
                     )
-                affected_gates: List[str] = []
-                for nname in changed_nodes:
-                    value = node_values[nname]
-                    for edge in topo.edges_from[nname]:
-                        ename = edge.name
-                        kernel = kernels[ename]
-                        if zero_delay[ename]:
+                affected_gates: List[int] = []
+                affected_seen: Set[int] = set()
+                for nid in changed_nodes:
+                    value = node_values[nid]
+                    for eid in out_edge_ids[nid]:
+                        kernel = kernels[eid]
+                        if zero_delay[eid]:
                             if not kernel.deliver_immediate(time, value):
                                 continue
                             out_value = kernel.delivered_value
-                            if edge.target in topo.is_gate:
-                                if edge.target not in affected_gates:
-                                    affected_gates.append(edge.target)
-                            elif edge.target in topo.is_output:
-                                node_values[edge.target] = out_value
-                                record_node_transition(edge.target, time, out_value)
+                            kind = edge_target_kind[eid]
+                            tid = edge_target_id[eid]
+                            if kind == _NODE_GATE:
+                                if tid not in affected_seen:
+                                    affected_seen.add(tid)
+                                    affected_gates.append(tid)
+                            elif kind == _NODE_OUTPUT:
+                                node_values[tid] = out_value
+                                record_node_transition(tid, time, out_value)
                         else:
                             event = kernel.feed(time, value)
                             if event is not None and event.time <= end_time:
                                 scheduler.push(
                                     event.time,
                                     DELIVER,
-                                    (ename, event.value, event.event_id),
+                                    (eid, event.value, event.event_id),
                                 )
-                next_changed: List[str] = []
-                for gname in affected_gates:
-                    if evaluate_gate(gname, time):
-                        next_changed.append(gname)
+                next_changed: List[int] = []
+                for gid in affected_gates:
+                    if evaluate_gate(gid, time):
+                        next_changed.append(gid)
                 changed_nodes = next_changed
 
         # --- assemble the execution ------------------------------------------
@@ -432,31 +574,32 @@ class Engine:
         # values, strictly increasing times, same-instant glitches
         # collapsed), so assembly uses the validation-free Signal fast path.
         node_signals: Dict[str, Signal] = {}
-        for pname in topo.input_ports:
+        for pid, pname in zip(topo.input_port_ids, topo.input_ports):
             node_signals[pname] = Signal._trusted(
-                inputs[pname].initial_value, node_transitions[pname]
+                input_signal_by_id[pid].initial_value, node_transitions[pid]
             )
-        for gname in topo.gate_names:
+        for gid, gname in zip(topo.gate_ids, topo.gate_names):
             node_signals[gname] = Signal._trusted(
-                topo.gate_initial[gname], node_transitions[gname]
+                topo.gate_initial_by_node[gid], node_transitions[gid]
             )
-        for oname in topo.output_ports:
+        for oid, oname in zip(topo.output_port_ids, topo.output_ports):
             driver = topo.output_driver[oname]
-            if driver.source in topo.is_gate:
-                src_initial = topo.gate_initial[driver.source]
+            src_id = topo.node_index[driver.source]
+            if topo.node_kind[src_id] == _NODE_GATE:
+                src_initial = topo.gate_initial_by_node[src_id]
             else:
-                src_initial = inputs[driver.source].initial_value
-            channel = run_channels[driver.name]
+                src_initial = input_signal_by_id[src_id].initial_value
+            channel = run_channels[topo.edge_index[driver.name]]
             node_signals[oname] = Signal._trusted(
-                channel.output_initial_value(src_initial), node_transitions[oname]
+                channel.output_initial_value(src_initial), node_transitions[oid]
             )
         edge_signals = {}
         dropped = 0
-        for ename, kernel in kernels.items():
-            edge = topo.edges[ename]
+        for eid, ename in enumerate(topo.edge_names):
+            kernel = kernels[eid]
             edge_signals[ename] = Signal._trusted(
-                run_channels[ename].output_initial_value(
-                    node_signals[edge.source].initial_value
+                run_channels[eid].output_initial_value(
+                    node_signals[topo.edge_list[eid].source].initial_value
                 ),
                 kernel.delivered,
             )

@@ -7,8 +7,8 @@ the circuit is validated and precomputed into a
 :class:`~repro.engine.scheduler.CircuitTopology` exactly once, and each
 :class:`Scenario` then only pays for its own event loop.  Scenarios can
 override per-edge channels (parameterised channel families, per-run eta
-adversaries) and optionally fan out over a :mod:`concurrent.futures`
-thread pool.
+adversaries) and fan out over threads or -- the actually-parallel option
+for this CPU-bound, pure-Python event loop -- a process pool.
 
 Helpers:
 
@@ -24,12 +24,16 @@ Helpers:
 from __future__ import annotations
 
 import copy
+import math
+import os
+import pickle
 import time as _time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.transitions import Signal
+from .errors import SimulationError
 from .scheduler import CircuitTopology, Engine, Execution
 
 __all__ = [
@@ -95,17 +99,142 @@ class SweepResult:
         return [run.execution for run in self.runs]
 
     def execution(self, name: str) -> Execution:
-        """The execution of the scenario with the given name."""
-        for run in self.runs:
-            if run.scenario.name == name:
-                return run.execution
-        raise KeyError(f"no scenario named {name!r}")
+        """The execution of the scenario with the given name (O(1) lookup).
+
+        The name index is built once on first use and cached; duplicate
+        scenario names make the lookup ambiguous and raise
+        :class:`~repro.engine.errors.SimulationError` (the former linear
+        scan silently returned the first match).
+        """
+        index = self.__dict__.get("_by_name")
+        if index is None:
+            index = {}
+            duplicates = set()
+            for run in self.runs:
+                if run.scenario.name in index:
+                    duplicates.add(run.scenario.name)
+                else:
+                    index[run.scenario.name] = run
+            if duplicates:
+                raise SimulationError(
+                    f"duplicate scenario names {sorted(duplicates)}: "
+                    "execution(name) lookups would be ambiguous"
+                )
+            self.__dict__["_by_name"] = index
+        try:
+            return index[name].execution
+        except KeyError:
+            raise KeyError(f"no scenario named {name!r}") from None
 
     def __iter__(self):
         return iter(self.runs)
 
     def __len__(self) -> int:
         return len(self.runs)
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool worker machinery
+# --------------------------------------------------------------------------- #
+# The worker builds its topology and engine exactly once per process (from
+# the pickled circuit shipped through the initializer) and then executes
+# whole scenario chunks, returning stripped signal payloads instead of full
+# Execution objects so the parent never re-pickles the circuit per run.
+
+_WORKER_ENGINE: Optional[Engine] = None
+
+#: Stripped per-run payload: (node_signals, edge_signals, event_count,
+#: dropped_transitions, seconds).
+_RunPayload = Tuple[Dict[str, Signal], Dict[str, Signal], int, int, float]
+
+
+def _process_worker_init(payload: bytes) -> None:
+    global _WORKER_ENGINE
+    circuit, on_causality, max_events = pickle.loads(payload)
+    _WORKER_ENGINE = Engine(
+        CircuitTopology(circuit), on_causality=on_causality, max_events=max_events
+    )
+
+
+def _process_run_chunk(scenarios: Sequence[Scenario]) -> List[_RunPayload]:
+    engine = _WORKER_ENGINE
+    results: List[_RunPayload] = []
+    for scenario in scenarios:
+        start = _time.perf_counter()
+        execution = engine.run(
+            scenario.inputs, scenario.end_time, channels=scenario.channels or None
+        )
+        results.append(
+            (
+                execution.node_signals,
+                execution.edge_signals,
+                execution.event_count,
+                execution.dropped_transitions,
+                _time.perf_counter() - start,
+            )
+        )
+    return results
+
+
+def _chunked(items: Sequence[_T], chunk_size: int) -> List[Sequence[_T]]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def _run_many_process(
+    topology: CircuitTopology,
+    scenarios: Sequence[Scenario],
+    *,
+    on_causality: str,
+    max_events: int,
+    max_workers: int,
+    chunk_size: Optional[int],
+) -> List[RunResult]:
+    try:
+        payload = pickle.dumps((topology.circuit, on_causality, max_events))
+        chunks = _chunked(list(scenarios), chunk_size or max(
+            1, math.ceil(len(scenarios) / (max_workers * 4))
+        ))
+        chunk_payloads = [pickle.dumps(chunk) for chunk in chunks]
+    except Exception as exc:
+        raise SimulationError(
+            "backend='process' requires the circuit and every scenario "
+            "(inputs, channel overrides, metadata) to be picklable; use the "
+            f"thread backend for closure-based channels ({exc})"
+        ) from exc
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_process_worker_init,
+        initargs=(payload,),
+    ) as pool:
+        chunk_results = list(pool.map(_process_run_chunk_pickled, chunk_payloads))
+    runs: List[RunResult] = []
+    circuit = topology.circuit
+    output_ports = topology.output_ports
+    for chunk, results in zip(chunks, chunk_results):
+        for scenario, (node_signals, edge_signals, events, dropped, secs) in zip(
+            chunk, results
+        ):
+            output_signals = {o: node_signals[o] for o in output_ports}
+            runs.append(
+                RunResult(
+                    scenario=scenario,
+                    execution=Execution(
+                        circuit=circuit,
+                        node_signals=node_signals,
+                        edge_signals=edge_signals,
+                        output_signals=output_signals,
+                        end_time=scenario.end_time,
+                        event_count=events,
+                        dropped_transitions=dropped,
+                    ),
+                    seconds=secs,
+                )
+            )
+    return runs
+
+
+def _process_run_chunk_pickled(chunk_payload: bytes) -> List[_RunPayload]:
+    return _process_run_chunk(pickle.loads(chunk_payload))
 
 
 def run_many(
@@ -115,6 +244,8 @@ def run_many(
     on_causality: str = "error",
     max_events: int = 1_000_000,
     max_workers: Optional[int] = None,
+    backend: str = "thread",
+    chunk_size: Optional[int] = None,
 ) -> SweepResult:
     """Execute every scenario against one shared, precomputed topology.
 
@@ -123,12 +254,37 @@ def run_many(
     fresh channel state) just as a standalone
     :func:`repro.circuits.simulator.simulate` call would.
 
-    With ``max_workers`` set, scenarios fan out over a thread pool.  Base
-    channels of the circuit are stateful (adversary RNGs), so in parallel
-    mode every edge *not* overridden by the scenario is deep-copied per
-    run; sequential mode (the default) shares them exactly like the naive
-    per-scenario loop did, preserving RNG advancement semantics.
+    Parallelism (``max_workers`` > 1) comes in two flavours:
+
+    ``backend="thread"``
+        A :class:`~concurrent.futures.ThreadPoolExecutor`.  The event loop
+        is pure CPU-bound Python, so threads time-slice under the GIL and
+        mostly *overlap* rather than speed up -- useful only when channel
+        callbacks release the GIL (numpy-heavy adversaries) or for latency
+        hiding.  Base channels of the circuit are stateful (adversary
+        RNGs), so every edge *not* overridden by the scenario is
+        deep-copied per run to keep threads from sharing mutable state.
+    ``backend="process"``
+        A :class:`~concurrent.futures.ProcessPoolExecutor`: real multi-core
+        scaling.  The circuit is pickled once per worker (workers build
+        their topology locally), scenarios are shipped in chunks
+        (``chunk_size``, default ``len / (4 * max_workers)``), and workers
+        return stripped signal payloads.  Requires the circuit and the
+        scenarios to be picklable.
+
+    Determinism guarantee: with every stateful channel either seeded or
+    overridden per scenario (as :func:`eta_monte_carlo` does), sequential,
+    thread and process backends produce bit-identical executions for the
+    same scenarios -- kernels are rebuilt and channels reset per run, so no
+    RNG state leaks across runs or workers.  The equivalence tests in
+    ``tests/engine/test_sweep.py`` pin this.
     """
+    if backend not in ("thread", "process"):
+        raise ValueError("backend must be 'thread' or 'process'")
+    if backend == "process" and max_workers is None:
+        # An explicitly requested process backend means "use the cores":
+        # silently running sequentially would ignore the caller's choice.
+        max_workers = os.cpu_count() or 1
     topology = (
         circuit
         if isinstance(circuit, CircuitTopology)
@@ -153,7 +309,17 @@ def run_many(
         )
 
     start = _time.perf_counter()
-    if max_workers is not None and max_workers > 1 and len(scenarios) > 1:
+    parallel = max_workers is not None and max_workers > 1 and len(scenarios) > 1
+    if parallel and backend == "process":
+        runs = _run_many_process(
+            topology,
+            scenarios,
+            on_causality=on_causality,
+            max_events=max_events,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+        )
+    elif parallel:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             runs = list(pool.map(lambda s: execute(s, isolate=True), scenarios))
     else:
@@ -210,7 +376,9 @@ def eta_monte_carlo(
     :class:`~repro.core.adversary.RandomAdversary`, seeded independently
     per (run, edge) from a deterministic seed sequence -- Monte Carlo
     sampling over the paper's admissible parameter ``H``.  Edges with
-    non-eta channels keep their base channel.
+    non-eta channels keep their base channel.  The per-(run, edge) seeding
+    is what makes the scenarios embarrassingly parallel: any
+    :func:`run_many` backend executes them bit-identically.
     """
     import numpy as np
 
@@ -256,10 +424,15 @@ def sweep_map(
     """Ordered map over independent sweep points, optionally threaded.
 
     The analog characterisation drivers (Fig. 7/8/9 sweeps over supply
-    voltages and variation scenarios) fan their independent, numpy-heavy
-    condition sweeps out through this helper; with ``max_workers=None``
-    it degrades to a plain list comprehension, keeping results bitwise
-    identical to the sequential loops it replaced.
+    voltages and variation scenarios) fan their independent condition
+    sweeps out through this helper; with ``max_workers=None`` it degrades
+    to a plain list comprehension, keeping results bitwise identical to the
+    sequential loops it replaced.  Threads help here (unlike in the event
+    loop) because these sweeps spend their time in numpy, which releases
+    the GIL for array-sized work; closures over unpicklable state are also
+    common in these drivers, which rules the process backend out.  For
+    picklable, pure-Python workloads prefer
+    ``run_many(..., backend="process")``.
     """
     items = list(items)
     if max_workers is None or max_workers <= 1 or len(items) <= 1:

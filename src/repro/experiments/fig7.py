@@ -102,8 +102,11 @@ def run_fig7(
     The pulse-width sweep is scaled with the per-stage delay at each supply
     voltage so every curve covers a comparable ``T`` range.  The per-supply
     characterisations are independent and fan out over
-    :func:`repro.engine.sweep.sweep_map` (sequential unless
-    ``max_workers`` is set).
+    :func:`repro.engine.sweep.sweep_map` threads (sequential unless
+    ``max_workers`` is set) -- the numpy-heavy waveform integration
+    releases the GIL, which is what makes threads effective here; the
+    closure over the analog chain keeps this driver off the picklable
+    process backend.
     """
 
     def characterise(vdd: float) -> Fig7Curve:

@@ -104,8 +104,10 @@ def run_fig8(
     reference ``delta_min`` (a "suitable value" in the paper's words);
     ``eta_minus`` is then maximal under constraint (C).  The independent
     per-scenario characterisations fan out over
-    :func:`repro.engine.sweep.sweep_map` (sequential unless
-    ``max_workers`` is set).
+    :func:`repro.engine.sweep.sweep_map` threads (sequential unless
+    ``max_workers`` is set); the numpy-heavy analog re-characterisation
+    releases the GIL, so threads scale here, while the event-driven eta
+    sweeps should prefer ``run_many(backend="process")``.
     """
     widths = _default_widths(technology, n_widths)
     nominal_chain = AnalogInverterChain(technology, stages=stages)

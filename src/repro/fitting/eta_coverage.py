@@ -173,6 +173,7 @@ def simulated_eta_coverage(
     stimulus=None,
     end_time: Optional[float] = None,
     max_workers: Optional[int] = None,
+    backend: str = "thread",
     label: str = "eta-monte-carlo",
 ) -> DeviationAnalysis:
     """Monte Carlo coverage check on the event-driven engine.
@@ -180,7 +181,9 @@ def simulated_eta_coverage(
     The digital-side counterpart of :func:`compute_deviations`: an inverter
     chain of eta-involution channels is executed for ``n_runs`` sampled
     adversaries (:func:`repro.engine.sweep.eta_monte_carlo`) through one
-    shared :func:`repro.engine.sweep.run_many` sweep.  Per channel and per
+    shared :func:`repro.engine.sweep.run_many` sweep (``max_workers`` and
+    ``backend`` fan it out; ``backend="process"`` gives real multi-core
+    scaling since the scenarios are picklable and seeded per run).  Per channel and per
     run, every output transition's crossing time is compared against the
     prediction of the *deterministic* involution delay function applied to
     the run's actual previous-output-to-input delay ``T`` -- exactly the
@@ -219,7 +222,7 @@ def simulated_eta_coverage(
 
     topology = CircuitTopology(circuit)
     scenarios = eta_monte_carlo(circuit, inputs, end_time, n_runs, seed=seed)
-    sweep = run_many(topology, scenarios, max_workers=max_workers)
+    sweep = run_many(topology, scenarios, max_workers=max_workers, backend=backend)
 
     samples: List[DeviationSample] = []
     eta_edges = [

@@ -12,7 +12,7 @@ from repro.core import (
     SequenceAdversary,
     Signal,
 )
-from repro.engine import CausalityError, ChannelKernel, KernelEvent
+from repro.engine import CausalityError, ChannelKernel, KernelEvent, SimulationError
 
 
 class ScriptedDelayChannel(Channel):
@@ -93,8 +93,29 @@ class TestCancelledIdBookkeeping:
         kernel.feed(2.0, 0)
         assert kernel.pending and kernel.cancelled_ids
         kernel.finalize()
-        assert kernel.pending == []
+        assert not kernel.pending
         assert kernel.cancelled_ids == set()
+
+
+class TestDeliverStateDivergence:
+    """Delivering an id that is neither pending nor tombstoned is an error.
+
+    It can only mean scheduler/kernel state divergence; the kernel used to
+    silently deliver the value anyway (regression test for that bugfix).
+    """
+
+    def test_unknown_event_id_raises(self):
+        kernel = ChannelKernel(PureDelayChannel(1.0), input_initial_value=0)
+        event = kernel.feed(1.0, 1)
+        with pytest.raises(SimulationError, match="diverged"):
+            kernel.deliver(event.event_id + 999, 1, 2.0)
+
+    def test_double_delivery_raises(self):
+        kernel = ChannelKernel(PureDelayChannel(1.0), input_initial_value=0)
+        event = kernel.feed(1.0, 1)
+        assert kernel.deliver(event.event_id, event.value, event.time) is True
+        with pytest.raises(SimulationError, match="diverged"):
+            kernel.deliver(event.event_id, event.value, event.time)
 
 
 class TestCausalityPolicy:

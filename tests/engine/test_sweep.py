@@ -55,6 +55,28 @@ class TestRunMany:
         with pytest.raises(KeyError):
             sweep.execution("nope")
 
+    def test_execution_lookup_is_cached(self, chain):
+        sweep = run_many(
+            chain,
+            [
+                Scenario(f"s{i}", {"in": Signal.pulse(1.0, 2.0)}, 50.0)
+                for i in range(3)
+            ],
+        )
+        assert sweep.execution("s1") is sweep.runs[1].execution
+        assert sweep.__dict__["_by_name"]["s2"] is sweep.runs[2]
+
+    def test_duplicate_scenario_names_rejected(self, chain):
+        sweep = run_many(
+            chain,
+            [
+                Scenario("dup", {"in": Signal.zero()}, 10.0),
+                Scenario("dup", {"in": Signal.zero()}, 10.0),
+            ],
+        )
+        with pytest.raises(SimulationError, match="duplicate scenario names"):
+            sweep.execution("dup")
+
     def test_channel_override_per_scenario(self, exp_pair, eta_small):
         circuit = fed_back_or(
             EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
@@ -107,10 +129,78 @@ class TestRunMany:
         for seq_run, par_run in zip(sequential, parallel):
             assert seq_run.execution.output("out") == par_run.execution.output("out")
 
+    def test_unknown_backend_rejected(self, chain):
+        with pytest.raises(ValueError, match="backend"):
+            run_many(
+                chain, [Scenario("s", {"in": Signal.zero()}, 10.0)], backend="mpi"
+            )
+
     def test_records_timing(self, chain):
         sweep = run_many(chain, [Scenario("s", {"in": Signal.pulse(1.0, 2.0)}, 50.0)])
         assert sweep.total_seconds > 0.0
         assert all(run.seconds >= 0.0 for run in sweep)
+
+
+class TestBackendEquivalence:
+    """Fixed seeds => bit-identical executions on every run_many backend."""
+
+    @pytest.fixture()
+    def mc_setup(self, exp_pair, eta_small):
+        circuit = inverter_chain(
+            3, lambda: EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
+        )
+        inputs = {"in": Signal.pulse_train(1.0, [2.0, 2.0], [3.0])}
+        scenarios = eta_monte_carlo(circuit, inputs, 60.0, 8, seed=11)
+        return circuit, scenarios
+
+    def test_all_backends_bit_identical(self, mc_setup):
+        circuit, scenarios = mc_setup
+        sequential = run_many(circuit, scenarios)
+        threaded = run_many(circuit, scenarios, max_workers=3)
+        process = run_many(circuit, scenarios, max_workers=3, backend="process")
+        assert len(sequential) == len(threaded) == len(process) == len(scenarios)
+        for seq, thr, proc in zip(sequential, threaded, process):
+            assert seq.scenario.name == thr.scenario.name == proc.scenario.name
+            assert seq.execution.node_signals == thr.execution.node_signals
+            assert seq.execution.node_signals == proc.execution.node_signals
+            assert seq.execution.edge_signals == thr.execution.edge_signals
+            assert seq.execution.edge_signals == proc.execution.edge_signals
+            assert seq.execution.event_count == proc.execution.event_count
+            assert (
+                seq.execution.dropped_transitions
+                == proc.execution.dropped_transitions
+            )
+
+    def test_process_backend_chunking_preserves_order(self, mc_setup):
+        circuit, scenarios = mc_setup
+        sequential = run_many(circuit, scenarios)
+        chunked = run_many(
+            circuit, scenarios, max_workers=2, backend="process", chunk_size=3
+        )
+        for seq, proc in zip(sequential, chunked):
+            assert seq.scenario.name == proc.scenario.name
+            assert seq.execution.node_signals == proc.execution.node_signals
+
+    def test_process_backend_rejects_unpicklable_scenarios(self, chain):
+        captured = []  # a closure makes the override channel unpicklable
+
+        class ClosureChannel(PureDelayChannel):
+            def delay_for(self, T, rising_output, index, time):
+                captured.append(index)
+                return super().delay_for(T, rising_output, index, time)
+
+        first_edge = next(iter(chain.edges))
+        scenarios = [
+            Scenario(
+                f"s{i}",
+                {"in": Signal.pulse(1.0, 2.0)},
+                50.0,
+                channels={first_edge: ClosureChannel(1.0)},
+            )
+            for i in range(2)
+        ]
+        with pytest.raises(SimulationError, match="picklable"):
+            run_many(chain, scenarios, max_workers=2, backend="process")
 
 
 class TestChannelOverrides:
