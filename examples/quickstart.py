@@ -90,6 +90,29 @@ def main() -> None:
     print(f"  guaranteed latching above Delta_0_tilde = {analysis.delta_tilde_0:.4f}")
     for delta_0 in (0.3, 1.0, 1.3):
         print(f"  input pulse {delta_0:.2f} -> regime: {analysis.classify(delta_0)}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 5. The declarative spec API: serialisable experiment definitions.
+    # ------------------------------------------------------------------ #
+    from repro import ChannelSpec, api
+    from repro.circuits import Circuit, inverter_chain
+
+    spec = ChannelSpec.exp_eta_involution(
+        tau=1.0, t_p=0.5, eta=eta, adversary={"kind": "random", "seed": 42}
+    )
+    circuit = inverter_chain(5, spec)
+    circuit_spec = circuit.to_spec()
+    print("Declarative spec API (repro.specs / repro.api)")
+    print(f"  channel spec       {spec.kind}: {sorted(spec.params)}")
+    print(f"  circuit spec       {circuit_spec!r}")
+    print(f"  JSON netlist size  {len(circuit_spec.to_json())} bytes")
+    rebuilt = Circuit.from_spec(circuit_spec)
+    execution = api.simulate(circuit, {"in": Signal.pulse(1.0, 3.0)}, 60.0)
+    execution2 = api.simulate(rebuilt, {"in": Signal.pulse(1.0, 3.0)}, 60.0)
+    identical = execution.output("out") == execution2.output("out")
+    print(f"  spec round-trip simulates identically: {identical}")
+    print("  (try: python -m repro simulate examples/netlists/inverter_chain.json)")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,13 @@ The package is organised as follows:
 * :mod:`repro.experiments` -- drivers that regenerate the paper's figures
   (used by ``benchmarks/`` and ``examples/``).
 
+* :mod:`repro.specs` -- declarative, JSON-round-trippable specs
+  (``DelaySpec``/``ChannelSpec``/``CircuitSpec``) with a kind registry and
+  extension hooks; :mod:`repro.io` adds the JSON netlist file format.
+* :mod:`repro.api` -- the ``build``/``simulate``/``sweep`` facade over
+  specs and circuits; ``python -m repro`` (:mod:`repro.cli`) drives it
+  from netlist files.
+
 Typical entry point::
 
     from repro import InvolutionPair, EtaInvolutionChannel, EtaBound, Signal
@@ -27,6 +34,15 @@ Typical entry point::
     pair = InvolutionPair.exp_channel(tau=1.0, t_p=0.5)
     channel = EtaInvolutionChannel(pair, EtaBound(0.05, 0.05))
     out = channel(Signal.pulse(start=0.0, length=2.0))
+
+or, declaratively::
+
+    from repro import ChannelSpec, api
+    from repro.circuits import inverter_chain
+
+    spec = ChannelSpec.exp_eta_involution(tau=1.0, t_p=0.5, eta=(0.05, 0.05))
+    execution = api.simulate(inverter_chain(7, spec),
+                             {"in": Signal.pulse(1.0, 3.0)}, end_time=60.0)
 """
 
 from .core import (
@@ -64,9 +80,45 @@ from .core import (
     satisfies_constraint_C,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# The spec/api layer is exported lazily (PEP 562): `repro.api` pulls in the
+# engine's scheduler/sweep modules, which must not load as a side effect of
+# `import repro` inside engine worker processes.
+_LAZY_EXPORTS = {
+    "api": ("repro.api", None),
+    "specs": ("repro.specs", None),
+    "cli": ("repro.cli", None),
+    "Spec": ("repro.specs", "Spec"),
+    "SpecError": ("repro.specs", "SpecError"),
+    "DelaySpec": ("repro.specs", "DelaySpec"),
+    "AdversarySpec": ("repro.specs", "AdversarySpec"),
+    "ChannelSpec": ("repro.specs", "ChannelSpec"),
+    "CircuitSpec": ("repro.specs", "CircuitSpec"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return module if attribute is None else getattr(module, attribute)
+
 
 __all__ = [
+    "api",
+    "specs",
+    "cli",
+    "Spec",
+    "SpecError",
+    "DelaySpec",
+    "AdversarySpec",
+    "ChannelSpec",
+    "CircuitSpec",
     "Signal",
     "Transition",
     "Pulse",

@@ -1,0 +1,140 @@
+"""High-level facade over the spec-based API.
+
+Three verbs cover the common workflows, each accepting live objects *or*
+their declarative specs (:mod:`repro.specs`) interchangeably:
+
+* :func:`build` -- turn a :class:`~repro.specs.CircuitSpec` (or spec dict,
+  or netlist file path) into a live :class:`~repro.circuits.circuit.Circuit`,
+* :func:`simulate` -- one event-driven execution,
+* :func:`sweep` -- a batched scenario family through
+  :func:`repro.engine.sweep.run_many` (sequential, thread, or process
+  backend -- specs are what make the process backend shippable),
+
+plus :func:`monte_carlo` to assemble the eta Monte Carlo scenario family
+of :func:`repro.engine.sweep.eta_monte_carlo` directly from a spec.
+
+Typical use::
+
+    from repro import api
+    netlist = api.load("examples/netlists/inverter_chain.json")
+    execution = api.simulate(netlist.circuit, netlist.inputs, netlist.end_time)
+    circuit, scenarios = api.monte_carlo(netlist.circuit, netlist.inputs,
+                                         netlist.end_time, n_runs=100, seed=7)
+    result = api.sweep(circuit, scenarios, backend="process")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from .core.transitions import Signal
+from .engine.scheduler import CircuitTopology, Execution
+from .engine.sweep import Scenario, SweepResult, eta_monte_carlo, run_many
+from .specs import CircuitSpec, as_circuit
+
+__all__ = ["build", "load", "simulate", "sweep", "monte_carlo"]
+
+
+def load(path: Union[str, Path]):
+    """Load a netlist file (circuit spec plus optional stimulus defaults)."""
+    from .io.netlist import load_netlist
+
+    return load_netlist(path)
+
+
+def build(spec_or_circuit):
+    """Materialise a circuit from a spec, spec dict, netlist path, or circuit.
+
+    Strings and :class:`~pathlib.Path` objects are treated as netlist file
+    paths; everything else goes through :func:`repro.specs.as_circuit`.
+    """
+    if isinstance(spec_or_circuit, (str, Path)):
+        return load(spec_or_circuit).build()
+    return as_circuit(spec_or_circuit)
+
+
+def _coerce_inputs(inputs: Mapping[str, object]) -> Dict[str, Signal]:
+    from .io.netlist import signal_from_dict
+
+    coerced: Dict[str, Signal] = {}
+    for name, signal in inputs.items():
+        coerced[name] = (
+            signal if isinstance(signal, Signal) else signal_from_dict(signal)
+        )
+    return coerced
+
+
+def simulate(
+    spec_or_circuit,
+    inputs: Mapping[str, object],
+    end_time: float,
+    *,
+    on_causality: str = "error",
+    max_events: int = 1_000_000,
+) -> Execution:
+    """Run one event-driven execution of a circuit or spec.
+
+    ``inputs`` maps input-port names to :class:`Signal` objects or signal
+    dicts (see :func:`repro.io.netlist.signal_from_dict`).
+    """
+    from .circuits.simulator import simulate as _simulate
+
+    return _simulate(
+        build(spec_or_circuit),
+        _coerce_inputs(inputs),
+        end_time,
+        on_causality=on_causality,
+        max_events=max_events,
+    )
+
+
+def sweep(
+    spec_or_circuit,
+    scenarios: Sequence[Scenario],
+    *,
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+    on_causality: str = "error",
+    max_events: int = 1_000_000,
+    chunk_size: Optional[int] = None,
+) -> SweepResult:
+    """Run a scenario family through the batched sweep runner.
+
+    Thin wrapper over :func:`repro.engine.sweep.run_many` that first
+    coerces ``spec_or_circuit`` (``CircuitTopology`` instances pass
+    through untouched, so prebuilt topologies stay amortised).
+    """
+    if not isinstance(spec_or_circuit, CircuitTopology):
+        spec_or_circuit = build(spec_or_circuit)
+    return run_many(
+        spec_or_circuit,
+        list(scenarios),
+        backend=backend,
+        max_workers=max_workers,
+        on_causality=on_causality,
+        max_events=max_events,
+        chunk_size=chunk_size,
+    )
+
+
+def monte_carlo(
+    spec_or_circuit,
+    inputs: Mapping[str, object],
+    end_time: float,
+    n_runs: int,
+    *,
+    seed: int = 0,
+    name: str = "mc",
+):
+    """Eta Monte Carlo scenario family for a circuit or spec.
+
+    Returns ``(circuit, scenarios)`` so callers can pass the *same* built
+    circuit to :func:`sweep` (building twice would re-randomise nothing --
+    scenarios override every eta edge -- but would redo validation).
+    """
+    circuit = build(spec_or_circuit)
+    scenarios = eta_monte_carlo(
+        circuit, _coerce_inputs(inputs), end_time, n_runs, seed=seed, name=name
+    )
+    return circuit, scenarios

@@ -236,6 +236,32 @@ class Circuit:
         return not nx.is_directed_acyclic_graph(self.to_networkx())
 
     # ------------------------------------------------------------------ #
+    # Declarative specs
+    # ------------------------------------------------------------------ #
+
+    def to_spec(self) -> "CircuitSpec":
+        """Extract the declarative, JSON-round-trippable spec of this circuit.
+
+        The spec (:class:`repro.specs.CircuitSpec`) preserves node and edge
+        order, so ``Circuit.from_spec(circuit.to_spec())`` rebuilds a
+        circuit that executes bit-identically.  Raises
+        :class:`repro.specs.SpecError` if any channel or gate type has no
+        registered spec kind.
+        """
+        from ..specs import CircuitSpec
+
+        return CircuitSpec.from_circuit(self)
+
+    @classmethod
+    def from_spec(cls, spec) -> "Circuit":
+        """Build a circuit from a :class:`repro.specs.CircuitSpec` (or dict)."""
+        from ..specs import CircuitSpec
+
+        if not isinstance(spec, CircuitSpec):
+            spec = CircuitSpec.from_dict(spec)
+        return spec.build()
+
+    # ------------------------------------------------------------------ #
     # Validation / export
     # ------------------------------------------------------------------ #
 

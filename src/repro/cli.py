@@ -1,0 +1,359 @@
+"""Command-line interface: run circuits straight from JSON netlist files.
+
+Installed as the ``repro`` console script and reachable as
+``python -m repro``.  Four subcommands:
+
+``info NETLIST``
+    Validate the netlist and print a structural summary.
+``simulate NETLIST``
+    One event-driven execution; stimulus comes from the netlist's
+    ``inputs``/``end_time`` defaults, overridable with ``--pulse`` /
+    ``--end-time``.  Prints per-output transition lists (``--json`` for
+    machine-readable output, ``--vcd FILE`` for a waveform dump).
+``sweep NETLIST --runs N``
+    An eta Monte Carlo sweep (:func:`repro.engine.sweep.eta_monte_carlo`)
+    over the netlist's circuit, fanned out over the chosen ``--backend``.
+``export LIBRARY -o FILE``
+    Write a library circuit (``inverter_chain``, ``buffer_chain``,
+    ``spf``) as a netlist file, with eta-involution exp-channels and a
+    default stimulus -- the quickest way to get a runnable netlist.
+
+Examples::
+
+    python -m repro simulate examples/netlists/inverter_chain.json
+    python -m repro sweep examples/netlists/inverter_chain.json --runs 50 \
+        --backend process --workers 4
+    python -m repro export inverter_chain --stages 7 -o chain.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Argument plumbing
+# --------------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Faithful binary circuit model with adversarial noise: "
+        "run JSON netlists through the event-driven engine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="validate a netlist and print its summary")
+    info.add_argument("netlist", help="netlist JSON file")
+
+    simulate = sub.add_parser("simulate", help="run one event-driven execution")
+    simulate.add_argument("netlist", help="netlist JSON file")
+    simulate.add_argument(
+        "--end-time", type=float, default=None,
+        help="simulation horizon (default: the netlist's end_time)",
+    )
+    simulate.add_argument(
+        "--pulse", action="append", default=[], metavar="PORT=START:LENGTH",
+        help="override an input port with a single pulse (repeatable)",
+    )
+    simulate.add_argument(
+        "--on-causality", choices=("error", "drop"), default="error",
+        help="policy for causality violations (default: error)",
+    )
+    simulate.add_argument(
+        "--max-events", type=int, default=1_000_000,
+        help="safety bound on processed events (default: 1000000)",
+    )
+    simulate.add_argument("--vcd", metavar="FILE", help="write the execution as VCD")
+    simulate.add_argument("--json", action="store_true", help="machine-readable output")
+
+    sweep = sub.add_parser(
+        "sweep", help="run an eta Monte Carlo sweep over the netlist's circuit"
+    )
+    sweep.add_argument("netlist", help="netlist JSON file")
+    sweep.add_argument("--runs", type=int, default=20, help="Monte Carlo runs (default: 20)")
+    sweep.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    sweep.add_argument(
+        "--backend", choices=("sequential", "thread", "process"),
+        default="sequential", help="sweep backend (default: sequential)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for thread/process backends",
+    )
+    sweep.add_argument("--end-time", type=float, default=None, help="simulation horizon")
+    sweep.add_argument(
+        "--max-events", type=int, default=1_000_000,
+        help="safety bound on processed events per run (default: 1000000)",
+    )
+    sweep.add_argument("--json", action="store_true", help="machine-readable output")
+
+    export = sub.add_parser("export", help="write a library circuit as a netlist file")
+    export.add_argument(
+        "library", choices=("inverter_chain", "buffer_chain", "spf"),
+        help="which prebuilt circuit to export",
+    )
+    export.add_argument("-o", "--output", required=True, help="output netlist path")
+    export.add_argument("--stages", type=int, default=7, help="chain stages (default: 7)")
+    export.add_argument("--tau", type=float, default=1.0, help="exp-channel RC constant")
+    export.add_argument("--t-p", type=float, default=0.5, help="exp-channel pure delay")
+    export.add_argument("--v-th", type=float, default=0.5, help="normalised threshold")
+    export.add_argument(
+        "--eta-plus", type=float, default=0.05,
+        help="eta_plus of the admissible band (eta_minus is maximal under (C))",
+    )
+    export.add_argument(
+        "--taps", action="store_true",
+        help="expose per-stage output taps (inverter_chain only)",
+    )
+    return parser
+
+
+def _parse_pulse_overrides(specs: Sequence[str]) -> Dict[str, object]:
+    from .core.transitions import Signal
+
+    overrides: Dict[str, object] = {}
+    for item in specs:
+        try:
+            port, rest = item.split("=", 1)
+            start_text, length_text = rest.split(":", 1)
+            overrides[port] = Signal.pulse(float(start_text), float(length_text))
+        except ValueError:
+            raise SystemExit(
+                f"--pulse {item!r}: expected PORT=START:LENGTH (e.g. in=1.0:3.0)"
+            ) from None
+    return overrides
+
+
+def _resolve_stimulus(netlist, circuit, pulses, end_time) -> tuple:
+    """Merge netlist defaults with CLI overrides into (inputs, end_time)."""
+    from .core.transitions import Signal
+
+    inputs = dict(netlist.inputs)
+    inputs.update(_parse_pulse_overrides(pulses))
+    for port in circuit.input_ports():
+        inputs.setdefault(port.name, Signal.constant(port.initial_value))
+    if end_time is None:
+        end_time = netlist.end_time
+    if end_time is None:
+        raise SystemExit(
+            "no simulation horizon: the netlist has no 'end_time' default; "
+            "pass --end-time"
+        )
+    return inputs, float(end_time)
+
+
+def _signal_summary(signal) -> str:
+    if signal.is_constant():
+        return f"constant {signal.initial_value}"
+    times = ", ".join(f"{t.time:.6g}->{t.value}" for t in signal)
+    return f"{len(signal)} transitions: {times}"
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_info(args) -> int:
+    from .io.netlist import load_netlist
+
+    netlist = load_netlist(args.netlist)
+    circuit = netlist.build()
+    circuit.validate()
+    print(circuit.summary())
+    for port in circuit.input_ports():
+        default = netlist.inputs.get(port.name)
+        described = _signal_summary(default) if default is not None else "(no default)"
+        print(f"  input  {port.name:<12s} initial={port.initial_value}  {described}")
+    for port in circuit.output_ports():
+        print(f"  output {port.name}")
+    kinds: Dict[str, int] = {}
+    for edge in circuit.edges.values():
+        kinds[type(edge.channel).__name__] = kinds.get(type(edge.channel).__name__, 0) + 1
+    print("  channels: " + ", ".join(f"{n} x {k}" for k, n in sorted(kinds.items())))
+    if netlist.end_time is not None:
+        print(f"  default end_time: {netlist.end_time:g}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from . import api
+    from .io.netlist import load_netlist, signal_to_dict
+
+    netlist = load_netlist(args.netlist)
+    circuit = netlist.build()
+    inputs, end_time = _resolve_stimulus(netlist, circuit, args.pulse, args.end_time)
+    execution = api.simulate(
+        circuit,
+        inputs,
+        end_time,
+        on_causality=args.on_causality,
+        max_events=args.max_events,
+    )
+    if args.vcd:
+        from .io.vcd import execution_to_vcd
+
+        with open(args.vcd, "w", encoding="utf-8") as handle:
+            handle.write(execution_to_vcd(execution))
+    if args.json:
+        payload = {
+            "netlist": args.netlist,
+            "end_time": end_time,
+            "event_count": execution.event_count,
+            "dropped_transitions": execution.dropped_transitions,
+            "outputs": {
+                name: signal_to_dict(signal)
+                for name, signal in execution.output_signals.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{circuit.summary()}")
+        print(f"simulated to t={end_time:g} ({execution.event_count} events)")
+        for name, signal in execution.output_signals.items():
+            print(f"  {name:<12s} {_signal_summary(signal)}")
+        if args.vcd:
+            print(f"VCD written to {args.vcd}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from . import api
+    from .io.netlist import load_netlist
+
+    netlist = load_netlist(args.netlist)
+    circuit = netlist.build()
+    inputs, end_time = _resolve_stimulus(netlist, circuit, [], args.end_time)
+    circuit, scenarios = api.monte_carlo(
+        circuit, inputs, end_time, args.runs, seed=args.seed
+    )
+    if not any(s.channels for s in scenarios):
+        print(
+            "warning: the netlist has no eta-involution channels; all Monte "
+            "Carlo runs are identical",
+            file=sys.stderr,
+        )
+    result = api.sweep(
+        circuit,
+        scenarios,
+        backend=args.backend,
+        max_workers=args.workers,
+        max_events=args.max_events,
+    )
+    rows: List[Dict[str, object]] = []
+    for run in result:
+        outputs = {
+            name: {
+                "transitions": len(signal),
+                "final_value": signal.final_value,
+                "stabilization_time": signal.stabilization_time(),
+            }
+            for name, signal in run.execution.output_signals.items()
+        }
+        rows.append(
+            {
+                "scenario": run.scenario.name,
+                "seconds": run.seconds,
+                "events": run.execution.event_count,
+                "outputs": outputs,
+            }
+        )
+    if args.json:
+        payload = {
+            "netlist": args.netlist,
+            "runs": args.runs,
+            "seed": args.seed,
+            "backend": args.backend,
+            "end_time": end_time,
+            "total_seconds": result.total_seconds,
+            "results": rows,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"eta Monte Carlo sweep: {args.runs} runs, seed={args.seed}, "
+            f"backend={args.backend}, end_time={end_time:g}"
+        )
+        for row in rows:
+            outs = "  ".join(
+                f"{name}: {o['transitions']}tr final={o['final_value']}"
+                for name, o in row["outputs"].items()
+            )
+            print(f"  {row['scenario']:<12s} {row['events']:>6d} events  {outs}")
+        print(f"total: {result.total_seconds:.3f}s for {len(rows)} runs")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .circuits.library import buffer_chain, inverter_chain
+    from .core.constraint import admissible_eta_bound
+    from .core.involution import InvolutionPair
+    from .core.transitions import Signal
+    from .io.netlist import save_netlist
+    from .specs import ChannelSpec
+
+    pair = InvolutionPair.exp_channel(args.tau, args.t_p, args.v_th)
+    eta = admissible_eta_bound(pair, eta_plus=args.eta_plus)
+    channel = ChannelSpec.exp_eta_involution(args.tau, args.t_p, eta, args.v_th)
+    unit = pair.delta_up_inf + pair.delta_down_inf
+    if args.library == "inverter_chain":
+        circuit = inverter_chain(args.stages, channel, expose_taps=args.taps)
+        inputs = {"in": Signal.pulse_train(1.0, [2.0 * unit] * 4, [3.0 * unit] * 3)}
+        end_time = 1.0 + 20.0 * unit + 10.0 * (args.stages + 1) * pair.delta_up_inf
+    elif args.library == "buffer_chain":
+        circuit = buffer_chain(args.stages, channel)
+        inputs = {"in": Signal.pulse_train(1.0, [2.0 * unit] * 4, [3.0 * unit] * 3)}
+        end_time = 1.0 + 20.0 * unit + 10.0 * (args.stages + 1) * pair.delta_up_inf
+    else:  # spf
+        from .spf.spf_circuit import build_spf_circuit
+
+        circuit = build_spf_circuit(pair, eta)
+        inputs = {"i": Signal.pulse(0.0, 2.0 * pair.delta_min)}
+        end_time = 400.0
+    path = save_netlist(
+        circuit,
+        args.output,
+        inputs=inputs,
+        end_time=end_time,
+        metadata={
+            "generator": f"repro export {args.library}",
+            "tau": args.tau,
+            "t_p": args.t_p,
+            "v_th": args.v_th,
+            "eta_plus": eta.eta_plus,
+            "eta_minus": eta.eta_minus,
+        },
+    )
+    print(f"wrote {path} ({circuit.summary()})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (the ``repro`` console script)."""
+    from .engine.errors import SimulationError
+    from .specs import SpecError
+
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
+        "export": _cmd_export,
+    }
+    try:
+        return handlers[args.command](args)
+    except (FileNotFoundError, SpecError, SimulationError) as exc:
+        # Routine bad-input cases get a one-line error, not a traceback.
+        raise SystemExit(f"error: {exc}") from exc
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

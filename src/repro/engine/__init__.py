@@ -12,7 +12,9 @@ Three layers, each usable on its own:
 * :mod:`repro.engine.sweep` -- the batched sweep runner
   (:func:`run_many`) that amortises validation/topology across whole
   scenario families, with per-run channel overrides, Monte Carlo eta
-  sampling (:func:`eta_monte_carlo`) and optional thread fan-out.
+  sampling (:func:`eta_monte_carlo`) and sequential/thread/process
+  backends (process workers receive the circuit as declarative
+  :class:`repro.specs.CircuitSpec` JSON, never as a pickle).
 
 The scheduler and sweep layers are imported lazily (PEP 562) because
 :mod:`repro.core.channel` imports the kernel at module load time; eager

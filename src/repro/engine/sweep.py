@@ -109,16 +109,23 @@ class SweepResult:
         index = self.__dict__.get("_by_name")
         if index is None:
             index = {}
-            duplicates = set()
-            for run in self.runs:
-                if run.scenario.name in index:
-                    duplicates.add(run.scenario.name)
+            first_seen: Dict[str, int] = {}
+            duplicates = []
+            for position, run in enumerate(self.runs):
+                sname = run.scenario.name
+                if sname in index:
+                    duplicates.append(
+                        f"{sname!r} at index {position} "
+                        f"(first seen at index {first_seen[sname]})"
+                    )
                 else:
-                    index[run.scenario.name] = run
+                    index[sname] = run
+                    first_seen[sname] = position
             if duplicates:
                 raise SimulationError(
-                    f"duplicate scenario names {sorted(duplicates)}: "
-                    "execution(name) lookups would be ambiguous"
+                    f"duplicate scenario names: {'; '.join(duplicates)}; "
+                    "execution(name) lookups would be ambiguous -- give every "
+                    "scenario a unique name"
                 )
             self.__dict__["_by_name"] = index
         try:
@@ -136,10 +143,12 @@ class SweepResult:
 # --------------------------------------------------------------------------- #
 # Process-pool worker machinery
 # --------------------------------------------------------------------------- #
-# The worker builds its topology and engine exactly once per process (from
-# the pickled circuit shipped through the initializer) and then executes
-# whole scenario chunks, returning stripped signal payloads instead of full
-# Execution objects so the parent never re-pickles the circuit per run.
+# The worker builds its topology and engine exactly once per process -- from
+# the declarative CircuitSpec JSON shipped through the initializer (specs
+# preserve node/edge order, so the rebuilt circuit executes bit-identically;
+# no circuit object is ever pickled) -- and then executes whole scenario
+# chunks, returning stripped signal payloads instead of full Execution
+# objects so the parent never re-serialises the circuit per run.
 
 _WORKER_ENGINE: Optional[Engine] = None
 
@@ -148,9 +157,11 @@ _WORKER_ENGINE: Optional[Engine] = None
 _RunPayload = Tuple[Dict[str, Signal], Dict[str, Signal], int, int, float]
 
 
-def _process_worker_init(payload: bytes) -> None:
+def _process_worker_init(spec_json: str, on_causality: str, max_events: int) -> None:
     global _WORKER_ENGINE
-    circuit, on_causality, max_events = pickle.loads(payload)
+    from ..specs import CircuitSpec
+
+    circuit = CircuitSpec.from_json(spec_json).build()
     _WORKER_ENGINE = Engine(
         CircuitTopology(circuit), on_causality=on_causality, max_events=max_events
     )
@@ -189,22 +200,32 @@ def _run_many_process(
     max_workers: int,
     chunk_size: Optional[int],
 ) -> List[RunResult]:
+    from ..specs import SpecError
+
     try:
-        payload = pickle.dumps((topology.circuit, on_causality, max_events))
+        spec_json = topology.circuit.to_spec().to_json(indent=None)
+    except SpecError as exc:
+        raise SimulationError(
+            "backend='process' ships declarative CircuitSpecs to its "
+            "workers, but this circuit cannot be expressed as one "
+            f"({exc}); register the missing kind via "
+            "repro.specs.register_channel_kind or use the thread backend"
+        ) from exc
+    try:
         chunks = _chunked(list(scenarios), chunk_size or max(
             1, math.ceil(len(scenarios) / (max_workers * 4))
         ))
         chunk_payloads = [pickle.dumps(chunk) for chunk in chunks]
     except Exception as exc:
         raise SimulationError(
-            "backend='process' requires the circuit and every scenario "
-            "(inputs, channel overrides, metadata) to be picklable; use the "
-            f"thread backend for closure-based channels ({exc})"
+            "backend='process' requires every scenario (inputs, channel "
+            "overrides, metadata) to be picklable; use the thread backend "
+            f"for closure-based channels ({exc})"
         ) from exc
     with ProcessPoolExecutor(
         max_workers=max_workers,
         initializer=_process_worker_init,
-        initargs=(payload,),
+        initargs=(spec_json, on_causality, max_events),
     ) as pool:
         chunk_results = list(pool.map(_process_run_chunk_pickled, chunk_payloads))
     runs: List[RunResult] = []
@@ -254,7 +275,9 @@ def run_many(
     fresh channel state) just as a standalone
     :func:`repro.circuits.simulator.simulate` call would.
 
-    Parallelism (``max_workers`` > 1) comes in two flavours:
+    Parallelism (``max_workers`` > 1) comes in two flavours
+    (``backend="sequential"`` explicitly opts out and ignores
+    ``max_workers``):
 
     ``backend="thread"``
         A :class:`~concurrent.futures.ThreadPoolExecutor`.  The event loop
@@ -266,11 +289,13 @@ def run_many(
         deep-copied per run to keep threads from sharing mutable state.
     ``backend="process"``
         A :class:`~concurrent.futures.ProcessPoolExecutor`: real multi-core
-        scaling.  The circuit is pickled once per worker (workers build
-        their topology locally), scenarios are shipped in chunks
-        (``chunk_size``, default ``len / (4 * max_workers)``), and workers
-        return stripped signal payloads.  Requires the circuit and the
-        scenarios to be picklable.
+        scaling.  The circuit is shipped once per worker as its declarative
+        :class:`~repro.specs.CircuitSpec` JSON (workers rebuild it and its
+        topology locally; spec node/edge order preservation keeps the
+        rebuilt circuit bit-identical), scenarios are shipped in pickled
+        chunks (``chunk_size``, default ``len / (4 * max_workers)``), and
+        workers return stripped signal payloads.  Requires the circuit to
+        be spec-representable and the scenarios to be picklable.
 
     Determinism guarantee: with every stateful channel either seeded or
     overridden per scenario (as :func:`eta_monte_carlo` does), sequential,
@@ -279,8 +304,8 @@ def run_many(
     RNG state leaks across runs or workers.  The equivalence tests in
     ``tests/engine/test_sweep.py`` pin this.
     """
-    if backend not in ("thread", "process"):
-        raise ValueError("backend must be 'thread' or 'process'")
+    if backend not in ("sequential", "thread", "process"):
+        raise ValueError("backend must be 'sequential', 'thread' or 'process'")
     if backend == "process" and max_workers is None:
         # An explicitly requested process backend means "use the cores":
         # silently running sequentially would ignore the caller's choice.
@@ -309,7 +334,12 @@ def run_many(
         )
 
     start = _time.perf_counter()
-    parallel = max_workers is not None and max_workers > 1 and len(scenarios) > 1
+    parallel = (
+        backend != "sequential"
+        and max_workers is not None
+        and max_workers > 1
+        and len(scenarios) > 1
+    )
     if parallel and backend == "process":
         runs = _run_many_process(
             topology,

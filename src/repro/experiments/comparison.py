@@ -107,9 +107,16 @@ def run_model_comparison(
     Every model uses the same chain topology; the recorded metric is the
     number of surviving pulses at each stage output (either polarity, since
     stages invert), plus the raw transition count at the final output.
+    ``factories`` values may be factory callables (deprecated) or
+    :class:`~repro.specs.ChannelSpec` objects / spec dicts.
     """
+    from ..specs import as_channel_factory
+
     if factories is None:
         factories = default_model_factories(tau, t_p)
+    factories = {
+        model: as_channel_factory(channel) for model, channel in factories.items()
+    }
     stimulus = Signal.pulse_train(
         1.0, [pulse_width] * pulse_count, [gap] * (pulse_count - 1)
     )

@@ -52,19 +52,32 @@ def run_scaling(
     eta_plus: float = 0.05,
     seed: int = 3,
     use_eta: bool = True,
+    channel=None,
 ) -> List[ScalingSample]:
-    """Measure simulator throughput for chains of increasing depth."""
+    """Measure simulator throughput for chains of increasing depth.
+
+    ``channel`` optionally overrides the per-stage channel: a
+    :class:`~repro.specs.ChannelSpec` (or spec dict, or factory callable)
+    replaces the default eta/involution exp-channel built from
+    ``tau``/``t_p``/``eta_plus``.
+    """
     pair = InvolutionPair.exp_channel(tau, t_p)
     eta = admissible_eta_bound(pair, eta_plus)
 
-    def factory():
-        if use_eta:
+    if channel is not None:
+        from ..specs import as_channel_factory
+
+        factory = as_channel_factory(channel)
+    elif use_eta:
+        def factory():
             return EtaInvolutionChannel(
                 InvolutionPair.exp_channel(tau, t_p), eta, RandomAdversary(seed=seed)
             )
-        from ..core.involution_channel import InvolutionChannel
+    else:
+        def factory():
+            from ..core.involution_channel import InvolutionChannel
 
-        return InvolutionChannel(InvolutionPair.exp_channel(tau, t_p))
+            return InvolutionChannel(InvolutionPair.exp_channel(tau, t_p))
 
     rng = np.random.default_rng(seed)
     # A random but well-separated transition sequence (no transition closer

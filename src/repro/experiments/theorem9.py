@@ -130,9 +130,17 @@ def run_theorem9(
 
     For each (pulse length, adversary) pair the fed-back OR is simulated and
     the observed output is checked against the analytical predictions.
+    ``pair``/``eta`` may be given as live objects or as their declarative
+    spec dicts (:mod:`repro.specs`); adversary factories may be
+    :class:`~repro.specs.AdversarySpec` objects.
     """
+    from ..specs import as_adversary_factory, as_eta, as_pair
+
+    pair = as_pair(pair)
     if eta is None:
         eta = admissible_eta_bound(pair, eta_plus)
+    else:
+        eta = as_eta(eta)
     analysis = SPFAnalysis(pair, eta)
     if pulse_lengths is None:
         low = max(analysis.cancel_threshold, 0.05 * analysis.delta_min)
@@ -146,6 +154,9 @@ def run_theorem9(
         )
     if adversaries is None:
         adversaries = default_adversaries()
+    adversaries = {
+        name: as_adversary_factory(factory) for name, factory in adversaries.items()
+    }
 
     # One shared storage-loop topology; every (adversary, pulse length)
     # point only overrides the feedback channel, so circuit validation and
@@ -203,6 +214,9 @@ def run_lemma5_sweep(
     to keep constraint (C) strict) is used; the row records ``tau``,
     ``Delta``, ``gamma``, ``Delta_0_tilde`` and the regime boundaries.
     """
+    from ..specs import as_pair
+
+    pair = as_pair(pair)
     rows: List[Dict[str, float]] = []
     for eta_plus in eta_plus_values:
         eta = admissible_eta_bound(pair, float(eta_plus), back_off=back_off)

@@ -136,8 +136,15 @@ def compute_deviations(
     For every measured sample ``(T, delta)`` the deviation is
     ``D = delta - delta_ref(T)`` with ``delta_ref`` the reference delay
     function of the sample's polarity.  The admissible band is either given
-    explicitly (``eta``) or derived from ``eta_plus`` via :func:`eta_band`.
+    explicitly (``eta``, an :class:`EtaBound` or its spec dict) or derived
+    from ``eta_plus`` via :func:`eta_band`; ``reference`` may be a live
+    pair or its spec dict.
     """
+    from ..specs import as_eta, as_pair
+
+    reference = as_pair(reference)
+    if eta is not None:
+        eta = as_eta(eta)
     if eta is None:
         if eta_plus is None:
             raise ValueError("either eta or eta_plus must be given")
@@ -206,7 +213,9 @@ def simulated_eta_coverage(
     from ..core.transitions import Signal
     from ..engine.scheduler import CircuitTopology
     from ..engine.sweep import eta_monte_carlo, run_many
+    from ..specs import as_eta, as_pair
 
+    pair, eta = as_pair(pair), as_eta(eta)
     circuit = inverter_chain(
         stages, lambda: EtaInvolutionChannel(pair, eta, ZeroAdversary())
     )

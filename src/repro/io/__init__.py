@@ -1,5 +1,25 @@
-"""Trace import/export (VCD)."""
+"""Trace and netlist import/export (VCD waveforms, JSON netlists)."""
 
+from .netlist import (
+    Netlist,
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+    signal_from_dict,
+    signal_to_dict,
+)
 from .vcd import execution_to_vcd, signals_to_vcd, write_vcd
 
-__all__ = ["signals_to_vcd", "execution_to_vcd", "write_vcd"]
+__all__ = [
+    "signals_to_vcd",
+    "execution_to_vcd",
+    "write_vcd",
+    "Netlist",
+    "load_netlist",
+    "save_netlist",
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "signal_to_dict",
+    "signal_from_dict",
+]

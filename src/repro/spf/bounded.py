@@ -58,7 +58,9 @@ def critical_pulse_width(
     eta: EtaBound = EtaBound.zero(),
 ) -> float:
     """The critical input pulse width ``Delta_0_tilde`` of Lemma 8."""
-    return SPFAnalysis(pair, eta).delta_tilde_0
+    from ..specs import as_eta, as_pair
+
+    return SPFAnalysis(as_pair(pair), as_eta(eta)).delta_tilde_0
 
 
 def analytical_stabilization_sweep(
@@ -72,7 +74,9 @@ def analytical_stabilization_sweep(
     ``a = 1 + delta_up'(0)``, demonstrating that no bounded stabilisation
     time exists (bounded-time SPF impossibility).
     """
-    analysis = SPFAnalysis(pair, eta)
+    from ..specs import as_eta, as_pair
+
+    analysis = SPFAnalysis(as_pair(pair), as_eta(eta))
     threshold = analysis.delta_tilde_0
     samples = []
     for gap in gaps:
@@ -107,6 +111,10 @@ def simulated_stabilization_sweep(
     differs, so callers may supply the empirically bracketed value (e.g.
     from :func:`find_empirical_threshold`).
     """
+    from ..specs import as_adversary_factory, as_eta, as_pair
+
+    pair, eta = as_pair(pair), as_eta(eta)
+    adversary_factory = as_adversary_factory(adversary_factory)
     if threshold is None:
         threshold = SPFAnalysis(pair, eta).delta_tilde_0
     # One shared storage-loop topology; each gap only swaps the feedback
@@ -159,6 +167,10 @@ def find_empirical_threshold(
     zero adversary to the deterministic critical width of the DATE'15
     model, which is strictly smaller.
     """
+    from ..specs import as_adversary_factory, as_eta, as_pair
+
+    pair, eta = as_pair(pair), as_eta(eta)
+    adversary_factory = as_adversary_factory(adversary_factory)
     analysis = SPFAnalysis(pair, eta)
     if lo is None:
         lo = max(analysis.cancel_threshold, 1e-9)

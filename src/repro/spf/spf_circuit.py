@@ -147,7 +147,15 @@ def build_spf_circuit(
     buffer_design:
         Pre-computed buffer dimensioning; computed from the loop analysis
         if omitted.
+
+    ``pair``/``eta``/``adversary`` may be live objects or their declarative
+    spec dicts (:mod:`repro.specs`).
     """
+    from ..specs import as_adversary, as_eta, as_pair
+
+    pair, eta = as_pair(pair), as_eta(eta)
+    if adversary is not None:
+        adversary = as_adversary(adversary)
     analysis = SPFAnalysis(pair, eta)
     if buffer_design is None:
         buffer_design = design_high_threshold_buffer(analysis, margin=buffer_margin)

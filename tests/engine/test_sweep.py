@@ -77,6 +77,32 @@ class TestRunMany:
         with pytest.raises(SimulationError, match="duplicate scenario names"):
             sweep.execution("dup")
 
+    def test_duplicate_scenario_error_names_scenario_and_index(self, chain):
+        """Regression: the error must say which scenario collides and where."""
+        sweep = run_many(
+            chain,
+            [
+                Scenario("a", {"in": Signal.zero()}, 10.0),
+                Scenario("dup", {"in": Signal.zero()}, 10.0),
+                Scenario("dup", {"in": Signal.zero()}, 10.0),
+            ],
+        )
+        with pytest.raises(
+            SimulationError,
+            match=r"'dup' at index 2 \(first seen at index 1\)",
+        ):
+            sweep.execution("a")
+
+    def test_sequential_backend_alias(self, chain):
+        scenarios = [
+            Scenario(f"w={w}", {"in": Signal.pulse(1.0, w)}, 60.0)
+            for w in (0.5, 2.0)
+        ]
+        default = run_many(chain, scenarios)
+        explicit = run_many(chain, scenarios, backend="sequential", max_workers=8)
+        for a, b in zip(default, explicit):
+            assert a.execution.node_signals == b.execution.node_signals
+
     def test_channel_override_per_scenario(self, exp_pair, eta_small):
         circuit = fed_back_or(
             EtaInvolutionChannel(exp_pair, eta_small, ZeroAdversary())
@@ -180,6 +206,47 @@ class TestBackendEquivalence:
         for seq, proc in zip(sequential, chunked):
             assert seq.scenario.name == proc.scenario.name
             assert seq.execution.node_signals == proc.execution.node_signals
+
+    def test_process_worker_init_consumes_spec_json(self, mc_setup):
+        """The worker initializer rebuilds its engine from CircuitSpec JSON.
+
+        Calls the initializer in-process with exactly what the parent
+        ships (the spec JSON text), then checks the rebuilt engine matches
+        a parent-side engine run for run: the worker path needs no pickled
+        circuit object.
+        """
+        import repro.engine.sweep as sweep_module
+
+        circuit, scenarios = mc_setup
+        spec_json = circuit.to_spec().to_json(indent=None)
+        original = sweep_module._WORKER_ENGINE
+        try:
+            sweep_module._process_worker_init(spec_json, "error", 1_000_000)
+            worker_engine = sweep_module._WORKER_ENGINE
+            scenario = scenarios[0]
+            worker_run = worker_engine.run(
+                scenario.inputs, scenario.end_time, channels=scenario.channels
+            )
+            parent_run = Engine(CircuitTopology(circuit)).run(
+                scenario.inputs, scenario.end_time, channels=scenario.channels
+            )
+            assert worker_run.node_signals == parent_run.node_signals
+            assert worker_run.edge_signals == parent_run.edge_signals
+        finally:
+            sweep_module._WORKER_ENGINE = original
+
+    def test_process_backend_rejects_unspecable_circuit(self, exp_pair):
+        class OpaqueChannel(PureDelayChannel):
+            """No registered spec kind -- cannot ship to process workers."""
+
+        circuit = inverter_chain(2, lambda: OpaqueChannel(1.0))
+        scenarios = [
+            Scenario(f"s{i}", {"in": Signal.pulse(1.0, 2.0)}, 20.0) for i in range(2)
+        ]
+        with pytest.raises(SimulationError, match="CircuitSpec"):
+            run_many(circuit, scenarios, max_workers=2, backend="process")
+        # The same circuit still runs on the in-process backends.
+        assert len(run_many(circuit, scenarios)) == 2
 
     def test_process_backend_rejects_unpicklable_scenarios(self, chain):
         captured = []  # a closure makes the override channel unpicklable

@@ -140,6 +140,27 @@ class TestTheorem9:
         assert all(g < 1.0 for g in gammas)
         assert all(row["Delta"] < row["delta_min"] for row in rows)
 
+    def test_accepts_pair_and_adversary_specs(self, pair):
+        """Drivers accept declarative spec dicts in place of live objects."""
+        lengths = np.linspace(0.3, 1.3, 3)
+        from_objects = run_theorem9(
+            pair,
+            pulse_lengths=lengths,
+            adversaries={"zero": default_adversaries()["zero"]},
+            end_time=150.0,
+        )
+        from_specs = run_theorem9(
+            {"kind": "exp", "tau": 1.0, "t_p": 0.5, "v_th": 0.5},
+            pulse_lengths=lengths,
+            adversaries={"zero": {"kind": "zero"}},
+            end_time=150.0,
+        )
+        assert from_objects.rows() == from_specs.rows()
+        spec_rows = run_lemma5_sweep(
+            {"kind": "exp", "tau": 1.0, "t_p": 0.5}, [0.02, 0.05]
+        )
+        assert spec_rows == run_lemma5_sweep(pair, [0.02, 0.05])
+
 
 class TestModelComparison:
     def test_qualitative_ordering(self):
@@ -172,3 +193,32 @@ class TestScaling:
         assert all(s.events > 0 for s in samples)
         assert all(s.events_per_second > 0 for s in samples)
         assert samples[1].events > samples[0].events
+
+    def test_accepts_channel_spec(self):
+        from repro.specs import ChannelSpec
+
+        samples = run_scaling(
+            stage_counts=(2,),
+            input_transitions=20,
+            channel=ChannelSpec.exp_involution(1.0, 0.5),
+        )
+        assert samples[0].events > 0
+
+
+class TestModelComparisonSpecs:
+    def test_spec_factories_match_callable_factories(self):
+        from repro.core import PureDelayChannel
+        from repro.specs import ChannelSpec
+
+        with_callables = run_model_comparison(
+            stages=2,
+            pulse_count=3,
+            factories={"pure": lambda: PureDelayChannel(1.19)},
+        )
+        with_specs = run_model_comparison(
+            stages=2,
+            pulse_count=3,
+            factories={"pure": ChannelSpec("pure", delay=1.19)},
+        )
+        assert with_callables.stage_survivors == with_specs.stage_survivors
+        assert with_callables.output_transitions == with_specs.output_transitions

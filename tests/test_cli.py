@@ -1,0 +1,174 @@
+"""Smoke tests for the ``python -m repro`` CLI (driven in-process)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = Path(__file__).parents[1] / "examples" / "netlists"
+
+
+@pytest.fixture()
+def chain_netlist(tmp_path):
+    path = tmp_path / "chain.json"
+    assert main(["export", "inverter_chain", "--stages", "3", "-o", str(path)]) == 0
+    return path
+
+
+class TestExport:
+    def test_export_writes_loadable_netlist(self, chain_netlist):
+        from repro.io.netlist import load_netlist
+
+        netlist = load_netlist(chain_netlist)
+        assert netlist.end_time is not None
+        assert "in" in netlist.inputs
+        netlist.build().validate()
+
+    def test_export_spf(self, tmp_path):
+        path = tmp_path / "spf.json"
+        assert main(["export", "spf", "-o", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-netlist"
+        edge_kinds = {e["channel"]["kind"] for e in data["circuit"]["edges"]}
+        assert "eta_involution" in edge_kinds
+
+
+class TestInfo:
+    def test_info_prints_summary(self, chain_netlist, capsys):
+        assert main(["info", str(chain_netlist)]) == 0
+        out = capsys.readouterr().out
+        assert "inverter_chain" in out
+        assert "EtaInvolutionChannel" in out
+
+    def test_malformed_netlist_exits_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "spice", "circuit": {}}')
+        with pytest.raises(SystemExit, match="error:"):
+            main(["info", str(path)])
+
+    def test_missing_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["info", str(tmp_path / "nope.json")])
+
+
+class TestSimulate:
+    def test_simulate_with_netlist_defaults(self, chain_netlist, capsys):
+        assert main(["simulate", str(chain_netlist)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated to" in out
+        assert "out" in out
+
+    def test_simulate_json_output(self, chain_netlist, capsys):
+        assert main(["simulate", str(chain_netlist), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["event_count"] > 0
+        assert "out" in payload["outputs"]
+
+    def test_simulate_pulse_override_changes_output(self, chain_netlist, capsys):
+        assert main(["simulate", str(chain_netlist), "--json"]) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(chain_netlist),
+                    "--json",
+                    "--pulse",
+                    "in=1.0:5.0",
+                    "--end-time",
+                    "80.0",
+                ]
+            )
+            == 0
+        )
+        overridden = json.loads(capsys.readouterr().out)
+        assert overridden["outputs"]["out"] != default["outputs"]["out"]
+        assert len(overridden["outputs"]["out"]["transitions"]) == 2
+
+    def test_simulate_writes_vcd(self, chain_netlist, tmp_path, capsys):
+        vcd = tmp_path / "trace.vcd"
+        assert main(["simulate", str(chain_netlist), "--vcd", str(vcd)]) == 0
+        text = vcd.read_text()
+        assert text.startswith("$timescale")
+        assert "$enddefinitions" in text
+
+    def test_bad_pulse_spec_exits(self, chain_netlist):
+        with pytest.raises(SystemExit):
+            main(["simulate", str(chain_netlist), "--pulse", "in=oops"])
+
+    def test_missing_end_time_exits(self, tmp_path):
+        from repro.circuits import inverter_chain
+        from repro.io.netlist import save_netlist
+        from repro.specs import ChannelSpec
+
+        bare = save_netlist(
+            inverter_chain(2, ChannelSpec.exp_involution(1.0, 0.5)),
+            tmp_path / "bare.json",
+        )
+        with pytest.raises(SystemExit, match="end-time"):
+            main(["simulate", str(bare)])
+
+
+class TestSweep:
+    def test_sweep_runs_monte_carlo(self, chain_netlist, capsys):
+        assert main(["sweep", str(chain_netlist), "--runs", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "4 runs" in out
+        assert "mc[3]" in out
+
+    def test_sweep_json_is_deterministic_per_seed(self, chain_netlist, capsys):
+        argv = ["sweep", str(chain_netlist), "--runs", "3", "--seed", "7", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+
+        def strip_timing(results):
+            return [
+                {k: v for k, v in row.items() if k != "seconds"} for row in results
+            ]
+
+        assert strip_timing(first["results"]) == strip_timing(second["results"])
+        assert len(first["results"]) == 3
+
+    def test_sweep_process_backend(self, chain_netlist, capsys):
+        argv = ["sweep", str(chain_netlist), "--runs", "3", "--seed", "7", "--json"]
+        assert main(argv) == 0
+        sequential = json.loads(capsys.readouterr().out)
+        assert (
+            main(argv + ["--backend", "process", "--workers", "2"]) == 0
+        )
+        process = json.loads(capsys.readouterr().out)
+        for seq, proc in zip(sequential["results"], process["results"]):
+            assert seq["outputs"] == proc["outputs"]
+            assert seq["events"] == proc["events"]
+
+
+class TestPackagedEntryPoints:
+    """The CI smoke contract: `python -m repro` works against the examples."""
+
+    def test_python_dash_m_simulate_example(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "simulate",
+             str(EXAMPLES / "inverter_chain.json")],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "simulated to" in result.stdout
+
+    def test_python_dash_m_help(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert result.returncode == 0
+        for command in ("info", "simulate", "sweep", "export"):
+            assert command in result.stdout
