@@ -21,11 +21,14 @@ The package is organised as follows:
   (used by ``benchmarks/`` and ``examples/``).
 
 * :mod:`repro.specs` -- declarative, JSON-round-trippable specs
-  (``DelaySpec``/``ChannelSpec``/``CircuitSpec``) with a kind registry and
-  extension hooks; :mod:`repro.io` adds the JSON netlist file format.
-* :mod:`repro.api` -- the ``build``/``simulate``/``sweep`` facade over
-  specs and circuits; ``python -m repro`` (:mod:`repro.cli`) drives it
-  from netlist files.
+  (``DelaySpec``/``ChannelSpec``/``CircuitSpec``/``ExperimentSpec``) with
+  kind registries and extension hooks; :mod:`repro.io` adds the JSON
+  netlist file format plus CSV/VCD result exporters.
+* :mod:`repro.store` -- the content-addressed artifact store caching
+  experiment results by spec hash.
+* :mod:`repro.api` -- the ``build``/``simulate``/``sweep``/``experiment``
+  facade over specs and circuits; ``python -m repro`` (:mod:`repro.cli`)
+  drives it from netlist files and experiment kinds.
 
 Typical entry point::
 
@@ -80,7 +83,7 @@ from .core import (
     satisfies_constraint_C,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # The spec/api layer is exported lazily (PEP 562): `repro.api` pulls in the
 # engine's scheduler/sweep modules, which must not load as a side effect of
@@ -89,12 +92,15 @@ _LAZY_EXPORTS = {
     "api": ("repro.api", None),
     "specs": ("repro.specs", None),
     "cli": ("repro.cli", None),
+    "store": ("repro.store", None),
     "Spec": ("repro.specs", "Spec"),
     "SpecError": ("repro.specs", "SpecError"),
     "DelaySpec": ("repro.specs", "DelaySpec"),
     "AdversarySpec": ("repro.specs", "AdversarySpec"),
     "ChannelSpec": ("repro.specs", "ChannelSpec"),
     "CircuitSpec": ("repro.specs", "CircuitSpec"),
+    "ExperimentSpec": ("repro.specs", "ExperimentSpec"),
+    "ArtifactStore": ("repro.store", "ArtifactStore"),
 }
 
 
@@ -113,12 +119,15 @@ __all__ = [
     "api",
     "specs",
     "cli",
+    "store",
     "Spec",
     "SpecError",
     "DelaySpec",
     "AdversarySpec",
     "ChannelSpec",
     "CircuitSpec",
+    "ExperimentSpec",
+    "ArtifactStore",
     "Signal",
     "Transition",
     "Pulse",

@@ -22,11 +22,20 @@ curves in Fig. 7 (delays exploding as V_DD approaches V_th).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping, Union
 
 import numpy as np
 
-__all__ = ["Technology", "UMC90", "UMC65"]
+__all__ = [
+    "Technology",
+    "UMC90",
+    "UMC65",
+    "TECHNOLOGY_PRESETS",
+    "technology_to_dict",
+    "technology_from_dict",
+    "as_technology",
+]
 
 
 @dataclass(frozen=True)
@@ -150,3 +159,58 @@ UMC65 = Technology(
     pull_up_strength=0.9,
     intrinsic_delay=2.0,
 )
+
+#: Named technologies referencable from declarative experiment specs.
+TECHNOLOGY_PRESETS: Dict[str, Technology] = {"UMC90": UMC90, "UMC65": UMC65}
+
+
+def technology_to_dict(technology: Technology) -> Dict[str, Any]:
+    """JSON-compatible form of a technology (all dataclass fields)."""
+    return asdict(technology)
+
+
+def _spec_error(message: str) -> Exception:
+    """A :class:`repro.specs.SpecError` (lazily imported: specs is a higher layer).
+
+    Technology coercion errors come from declarative experiment specs, so
+    they must be the error type the CLI maps to a clean one-line exit.
+    """
+    from ..specs import SpecError
+
+    return SpecError(message)
+
+
+def technology_from_dict(data: Mapping[str, Any]) -> Technology:
+    """Rebuild a technology from :func:`technology_to_dict` output.
+
+    Unknown or missing fields raise so a typo'd experiment spec fails
+    loudly instead of silently characterising the default technology.
+    """
+    known = {f.name for f in fields(Technology)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise _spec_error(
+            f"unknown technology field(s) {unknown}; known: {sorted(known)}"
+        )
+    try:
+        return Technology(**dict(data))
+    except TypeError as exc:
+        raise _spec_error(f"incomplete technology dict ({exc})") from None
+
+
+def as_technology(obj: Union[Technology, str, Mapping[str, Any]]) -> Technology:
+    """Coerce a Technology, preset name, or technology dict to a Technology."""
+    if isinstance(obj, Technology):
+        return obj
+    if isinstance(obj, str):
+        try:
+            return TECHNOLOGY_PRESETS[obj]
+        except KeyError:
+            raise _spec_error(
+                f"unknown technology preset {obj!r}; known: "
+                f"{sorted(TECHNOLOGY_PRESETS)}"
+            ) from None
+    if isinstance(obj, Mapping):
+        return technology_from_dict(obj)
+    raise _spec_error(f"cannot interpret {type(obj).__name__} as a technology")
+

@@ -11,7 +11,15 @@ their declarative specs (:mod:`repro.specs`) interchangeably:
   backend -- specs are what make the process backend shippable),
 
 plus :func:`monte_carlo` to assemble the eta Monte Carlo scenario family
-of :func:`repro.engine.sweep.eta_monte_carlo` directly from a spec.
+of :func:`repro.engine.sweep.eta_monte_carlo` directly from a spec, and
+the declarative experiment surface:
+
+* :func:`experiment` -- run a registered experiment kind from an
+  :class:`~repro.specs.ExperimentSpec` (or a kind name plus params),
+  returning a provenance-carrying
+  :class:`~repro.experiments.base.ExperimentResult`; ``cache=`` plugs in
+  the content-addressed artifact store (:mod:`repro.store`),
+* :func:`experiments` -- the registered kinds and their descriptions.
 
 Typical use::
 
@@ -21,6 +29,9 @@ Typical use::
     circuit, scenarios = api.monte_carlo(netlist.circuit, netlist.inputs,
                                          netlist.end_time, n_runs=100, seed=7)
     result = api.sweep(circuit, scenarios, backend="process")
+
+    thm9 = api.experiment("theorem9", {"eta_plus": 0.1}, cache="artifacts/")
+    print(thm9.table())
 """
 
 from __future__ import annotations
@@ -33,7 +44,15 @@ from .engine.scheduler import CircuitTopology, Execution
 from .engine.sweep import Scenario, SweepResult, eta_monte_carlo, run_many
 from .specs import CircuitSpec, as_circuit
 
-__all__ = ["build", "load", "simulate", "sweep", "monte_carlo"]
+__all__ = [
+    "build",
+    "load",
+    "simulate",
+    "sweep",
+    "monte_carlo",
+    "experiment",
+    "experiments",
+]
 
 
 def load(path: Union[str, Path]):
@@ -138,3 +157,41 @@ def monte_carlo(
         circuit, _coerce_inputs(inputs), end_time, n_runs, seed=seed, name=name
     )
     return circuit, scenarios
+
+
+def experiment(
+    spec_or_kind,
+    params: Optional[Mapping[str, object]] = None,
+    *,
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+    cache=None,
+    force: bool = False,
+):
+    """Run a registered experiment kind and return its ExperimentResult.
+
+    ``spec_or_kind`` is a kind name (``"theorem9"``, ``"fig7"``, ...; see
+    :func:`experiments`), an :class:`~repro.specs.ExperimentSpec`, or a
+    spec dict.  ``cache`` (an :class:`~repro.store.ArtifactStore` or a
+    directory path) makes identical reruns return the stored artifact with
+    ``from_cache=True``.
+    """
+    from .experiments.base import run_experiment
+
+    return run_experiment(
+        spec_or_kind,
+        params,
+        backend=backend,
+        max_workers=max_workers,
+        cache=cache,
+        force=force,
+    )
+
+
+def experiments() -> Dict[str, str]:
+    """Registered experiment kinds mapped to their descriptions."""
+    from .specs import experiment_kinds, get_experiment_kind
+
+    return {
+        kind: get_experiment_kind(kind).description for kind in experiment_kinds()
+    }

@@ -1,7 +1,7 @@
-"""Command-line interface: run circuits straight from JSON netlist files.
+"""Command-line interface: run circuits and experiments from the shell.
 
 Installed as the ``repro`` console script and reachable as
-``python -m repro``.  Four subcommands:
+``python -m repro``.  Five subcommands:
 
 ``info NETLIST``
     Validate the netlist and print a structural summary.
@@ -17,6 +17,13 @@ Installed as the ``repro`` console script and reachable as
     Write a library circuit (``inverter_chain``, ``buffer_chain``,
     ``spf``) as a netlist file, with eta-involution exp-channels and a
     default stimulus -- the quickest way to get a runnable netlist.
+``experiment {list,run,report,export}``
+    The declarative experiment surface (:mod:`repro.experiments`):
+    ``list`` the registered kinds, ``run`` one from parameters (text
+    table or ``--json``; ``--cache DIR`` enables the content-addressed
+    artifact store, so identical reruns are cache hits), ``report`` a
+    stored result JSON, and ``export`` one as JSON/CSV/VCD
+    (:mod:`repro.io.export`).
 
 Examples::
 
@@ -24,6 +31,10 @@ Examples::
     python -m repro sweep examples/netlists/inverter_chain.json --runs 50 \
         --backend process --workers 4
     python -m repro export inverter_chain --stages 7 -o chain.json
+    python -m repro experiment run theorem9 --param eta_plus=0.1 \
+        --cache artifacts/
+    python -m repro experiment export artifacts/ab/abc... .json \
+        --format csv -o theorem9.csv
 """
 
 from __future__ import annotations
@@ -113,6 +124,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--taps", action="store_true",
         help="expose per-stage output taps (inverter_chain only)",
     )
+
+    experiment = sub.add_parser(
+        "experiment", help="list/run/report/export declarative experiments"
+    )
+    esub = experiment.add_subparsers(dest="experiment_command", required=True)
+
+    elist = esub.add_parser("list", help="list the registered experiment kinds")
+    elist.add_argument("--json", action="store_true", help="machine-readable output")
+
+    erun = esub.add_parser("run", help="run one experiment kind")
+    erun.add_argument("kind", help="registered experiment kind (see 'experiment list')")
+    erun.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="override one parameter (VALUE parsed as JSON, else string; repeatable)",
+    )
+    erun.add_argument(
+        "--params-json", metavar="JSON",
+        help="parameter overrides as one JSON object (merged under --param)",
+    )
+    erun.add_argument(
+        "--backend", choices=("sequential", "thread", "process"),
+        default="sequential",
+        help="sweep backend for engine-driven experiments (default: sequential)",
+    )
+    erun.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for thread/process backends and analog sweeps",
+    )
+    erun.add_argument(
+        "--cache", metavar="DIR",
+        help="artifact store directory: return stored results for identical "
+        "specs, store fresh ones",
+    )
+    erun.add_argument(
+        "--force", action="store_true",
+        help="recompute even on a cache hit (the store is updated)",
+    )
+    erun.add_argument("-o", "--output", metavar="FILE", help="write the result JSON")
+    erun.add_argument("--json", action="store_true", help="machine-readable output")
+
+    ereport = esub.add_parser("report", help="print a stored result as a text table")
+    ereport.add_argument("result", help="experiment result JSON file")
+    ereport.add_argument(
+        "--columns", metavar="A,B,...", help="comma-separated column subset"
+    )
+    ereport.add_argument(
+        "--precision", type=int, default=4, help="significant digits (default: 4)"
+    )
+
+    eexport = esub.add_parser("export", help="convert a stored result to json/csv/vcd")
+    eexport.add_argument("result", help="experiment result JSON file")
+    eexport.add_argument(
+        "--format", choices=("json", "csv", "vcd"), default="csv",
+        help="output format (default: csv); vcd needs recorded traces",
+    )
+    eexport.add_argument("-o", "--output", required=True, help="output file path")
     return parser
 
 
@@ -336,6 +403,127 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _parse_param_overrides(items: Sequence[str], params_json: Optional[str]) -> Dict[str, object]:
+    """Merge ``--params-json`` and ``--param NAME=VALUE`` into one dict."""
+    params: Dict[str, object] = {}
+    if params_json:
+        try:
+            loaded = json.loads(params_json)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--params-json: not valid JSON ({exc})") from None
+        if not isinstance(loaded, dict):
+            raise SystemExit("--params-json: expected a JSON object")
+        params.update(loaded)
+    for item in items:
+        name, sep, text = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"--param {item!r}: expected NAME=VALUE (e.g. eta_plus=0.1)"
+            )
+        try:
+            params[name] = json.loads(text)
+        except json.JSONDecodeError:
+            params[name] = text  # bare strings stay strings
+    return params
+
+
+def _print_provenance(result, *, show_cache: bool = True) -> None:
+    # from_cache is transient run-state, not provenance: it is only
+    # meaningful right after `experiment run`, never for a loaded artifact.
+    prov = result.provenance
+    cache = f"  cache={'hit' if result.from_cache else 'miss'}" if show_cache else ""
+    print(
+        f"provenance: repro {prov.get('version')}  backend={prov.get('backend')}  "
+        f"cpu_count={prov.get('cpu_count')}  wall={prov.get('wall_time_s', 0.0):.3f}s"
+        f"{cache}"
+    )
+    print(f"spec key: {prov.get('spec_key')}")
+
+
+def _cmd_experiment_list(args) -> int:
+    from . import api
+
+    kinds = api.experiments()
+    if args.json:
+        print(json.dumps(kinds, indent=2, sort_keys=True))
+        return 0
+    width = max(len(kind) for kind in kinds)
+    for kind, description in kinds.items():
+        print(f"{kind.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_experiment_run(args) -> int:
+    from . import api
+
+    params = _parse_param_overrides(args.param, args.params_json)
+    result = api.experiment(
+        args.kind,
+        params,
+        backend=args.backend,
+        max_workers=args.workers,
+        cache=args.cache,
+        force=args.force,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+    if args.json:
+        payload = {
+            "from_cache": result.from_cache,
+            "result": result.to_dict(),
+        }
+        if args.cache:
+            from .store import as_store
+
+            payload["artifact"] = str(as_store(args.cache).path_for(result.spec))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.table())
+        _print_provenance(result)
+        if args.cache:
+            from .store import as_store
+
+            print(f"artifact: {as_store(args.cache).path_for(result.spec)}")
+        if args.output:
+            print(f"result JSON written to {args.output}")
+    return 0
+
+
+def _load_result(path: str):
+    from .experiments.base import ExperimentResult
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return ExperimentResult.from_json(handle.read())
+
+
+def _cmd_experiment_report(args) -> int:
+    result = _load_result(args.result)
+    columns = args.columns.split(",") if args.columns else None
+    print(result.table(columns=columns, precision=args.precision))
+    _print_provenance(result, show_cache=False)
+    return 0
+
+
+def _cmd_experiment_export(args) -> int:
+    from .io.export import export_result
+
+    result = _load_result(args.result)
+    export_result(result, args.format, args.output)
+    print(f"wrote {args.output} ({args.format}, kind={result.spec.kind})")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    handlers = {
+        "list": _cmd_experiment_list,
+        "run": _cmd_experiment_run,
+        "report": _cmd_experiment_report,
+        "export": _cmd_experiment_export,
+    }
+    return handlers[args.experiment_command](args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point (the ``repro`` console script)."""
     from .engine.errors import SimulationError
@@ -347,6 +535,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
         "export": _cmd_export,
+        "experiment": _cmd_experiment,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,443 @@
+"""The unified experiment runtime: results, provenance, and the runner.
+
+PR 3 made circuits declarative; this module does the same for the paper's
+experiments.  Every experiment is a registered *kind*
+(:func:`repro.specs.register_experiment_kind`) whose runner maps a fully
+resolved parameter dict to an :class:`ExperimentOutcome`;
+:func:`run_experiment` wraps that call with
+
+* parameter resolution (defaults merged, canonical JSON),
+* provenance capture (spec JSON + hash, package version, backend,
+  cpu_count, wall time, seed) on the returned :class:`ExperimentResult`,
+* schema validation (uniform row keys, JSON-scalar cells), and
+* content-addressed caching through :class:`repro.store.ArtifactStore`
+  (``cache=...``): identical specs return the stored result without
+  recomputation, which is what makes large parameter sweeps resumable.
+
+The legacy ``run_fig7``/``run_theorem9``/... entry points are thin
+deprecated wrappers over this path; equivalence tests pin their output
+bit-identical to the direct implementation calls they replaced.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..specs import (
+    ExperimentSpec,
+    SpecError,
+    _canonical_key,
+    _jsonify,
+    get_experiment_kind,
+)
+
+__all__ = [
+    "RESULT_FORMAT",
+    "RESULT_VERSION",
+    "ExperimentContext",
+    "ExperimentOutcome",
+    "ExperimentResult",
+    "as_experiment_spec",
+    "run_experiment",
+]
+
+RESULT_FORMAT = "repro-experiment-result"
+RESULT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """Execution knobs that must not change the numbers an experiment produces.
+
+    ``backend``/``max_workers`` plumb straight into
+    :func:`repro.engine.sweep.run_many` (event-driven experiments) or
+    :func:`repro.engine.sweep.sweep_map` (analog characterisation sweeps);
+    the sweep runner's determinism guarantee is what makes them
+    result-neutral, so the artifact store can key on the spec alone.
+    """
+
+    backend: str = "sequential"
+    max_workers: Optional[int] = None
+
+
+@dataclass
+class ExperimentOutcome:
+    """What a kind runner returns: rows plus optional extras.
+
+    ``rows`` is the experiment's flat result table (uniform keys, JSON
+    scalars/lists); ``summary`` holds experiment-level scalars (analysis
+    quantities, fitted parameters); ``traces`` optionally maps trace names
+    to signal dicts (:func:`repro.io.netlist.signal_to_dict`) for VCD
+    export; ``raw`` is the legacy result object handed back by the
+    deprecated wrappers -- transient, never serialised.
+    """
+
+    rows: List[Dict[str, Any]]
+    summary: Dict[str, Any] = field(default_factory=dict)
+    traces: Optional[Dict[str, Dict[str, Any]]] = None
+    raw: Any = None
+
+
+@dataclass
+class ExperimentResult:
+    """Schema'd rows + parameters + provenance; round-trips through JSON.
+
+    Two results are equal iff their spec, columns, rows, summary and traces
+    are (canonical-JSON comparison); provenance is excluded -- wall time
+    and host facts differ between equal reruns by construction.  ``raw``
+    and ``from_cache`` are transient: they do not survive serialisation.
+    """
+
+    spec: ExperimentSpec
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+    summary: Dict[str, Any] = field(default_factory=dict)
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    traces: Optional[Dict[str, Dict[str, Any]]] = None
+    raw: Any = None
+    from_cache: bool = False
+
+    # -- schema ------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check the row schema: uniform keys, JSON scalar/list cells."""
+        expected = list(self.columns)
+        for index, row in enumerate(self.rows):
+            if list(row) != expected:
+                raise SpecError(
+                    f"row {index} keys {list(row)} do not match the result "
+                    f"columns {expected}"
+                )
+            for column, value in row.items():
+                if isinstance(value, (list, tuple)):
+                    bad = [v for v in value if isinstance(v, (dict, list, tuple))]
+                    if bad:
+                        raise SpecError(
+                            f"row {index} column {column!r}: nested containers "
+                            "are not valid result cells"
+                        )
+                elif isinstance(value, dict):
+                    raise SpecError(
+                        f"row {index} column {column!r}: mappings are not "
+                        "valid result cells"
+                    )
+        # Round-trip safety: everything must be JSON-representable.
+        _jsonify(self.rows)
+        _jsonify(self.summary)
+        if self.traces is not None:
+            _jsonify(self.traces)
+
+    # -- serialisation ----------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict form (the artifact-store payload)."""
+        data: Dict[str, Any] = {
+            "format": RESULT_FORMAT,
+            "version": RESULT_VERSION,
+            "spec": self.spec.to_dict(),
+            "columns": list(self.columns),
+            "rows": _jsonify(self.rows),
+            "summary": _jsonify(self.summary),
+            "provenance": _jsonify(self.provenance),
+        }
+        if self.traces is not None:
+            data["traces"] = _jsonify(self.traces)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        fmt = data.get("format", RESULT_FORMAT)
+        if fmt != RESULT_FORMAT:
+            raise SpecError(f"not an experiment result (format={fmt!r})")
+        version = int(data.get("version", RESULT_VERSION))
+        if version > RESULT_VERSION:
+            raise SpecError(
+                f"result version {version} is newer than supported "
+                f"({RESULT_VERSION})"
+            )
+        try:
+            spec = ExperimentSpec.from_dict(data["spec"])
+            columns = list(data["columns"])
+            # JSON serialisation sorts keys; restore the declared column
+            # order so loaded results validate and tabulate like fresh ones.
+            rows = [{column: row[column] for column in columns} for row in data["rows"]]
+        except KeyError as exc:
+            raise SpecError(f"experiment result dict is missing field {exc}") from None
+        return cls(
+            spec=spec,
+            columns=columns,
+            rows=rows,
+            summary=dict(data.get("summary") or {}),
+            provenance=dict(data.get("provenance") or {}),
+            traces=None if data.get("traces") is None else dict(data["traces"]),
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    # -- value semantics --------------------------------------------------- #
+
+    def _eq_key(self) -> str:
+        payload = self.to_dict()
+        payload.pop("provenance", None)
+        return _canonical_key(payload)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExperimentResult):
+            return NotImplemented
+        return self._eq_key() == other._eq_key()
+
+    # -- convenience ------------------------------------------------------- #
+
+    def table(self, **kwargs) -> str:
+        """The rows as an aligned plain-text table (:mod:`.reporting`)."""
+        from .reporting import format_table
+
+        if kwargs.get("columns") is None:
+            kwargs["columns"] = self.columns
+        if kwargs.get("title") is None:
+            kwargs["title"] = f"experiment {self.spec.kind}"
+        return format_table(self.rows, **kwargs)
+
+    def signals(self) -> Dict[str, Any]:
+        """Recorded traces as live :class:`~repro.core.transitions.Signal` objects."""
+        from ..io.netlist import signal_from_dict
+
+        if not self.traces:
+            return {}
+        return {name: signal_from_dict(data) for name, data in self.traces.items()}
+
+
+def as_experiment_spec(
+    spec: Union[str, ExperimentSpec, Mapping[str, Any]],
+    params: Optional[Mapping[str, Any]] = None,
+) -> ExperimentSpec:
+    """Coerce a kind name, spec dict, or ExperimentSpec to an ExperimentSpec."""
+    if isinstance(spec, ExperimentSpec):
+        if params:
+            raise SpecError("params must be folded into an ExperimentSpec, not both")
+        return spec
+    if isinstance(spec, str):
+        return ExperimentSpec(spec, dict(params or {}))
+    if isinstance(spec, Mapping):
+        if params:
+            raise SpecError("params must be folded into the spec dict, not both")
+        return ExperimentSpec.from_dict(spec)
+    raise SpecError(f"cannot interpret {type(spec).__name__} as an experiment spec")
+
+
+def _provenance(
+    resolved: ExperimentSpec,
+    context: ExperimentContext,
+    wall_time_s: float,
+) -> Dict[str, Any]:
+    """The facts every result carries about how it was produced."""
+    from .. import __version__
+    from ..store import ArtifactStore
+
+    seed = resolved.params.get("seed")
+    return {
+        "spec": resolved.to_dict(),
+        "spec_key": ArtifactStore.key_for(resolved),
+        "package": "repro",
+        "version": __version__,
+        "seed": seed if isinstance(seed, (int, float)) else None,
+        "backend": context.backend,
+        "max_workers": context.max_workers,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "wall_time_s": float(wall_time_s),
+    }
+
+
+def run_experiment(
+    spec: Union[str, ExperimentSpec, Mapping[str, Any]],
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+    cache: Optional[object] = None,
+    force: bool = False,
+) -> ExperimentResult:
+    """Run a declarative experiment and return its provenance-carrying result.
+
+    ``spec`` is an :class:`~repro.specs.ExperimentSpec`, a kind name (with
+    optional ``params``), or a spec dict.  ``backend``/``max_workers``
+    choose the sweep execution strategy (result-neutral by the engine's
+    determinism guarantee).  ``cache`` (an
+    :class:`~repro.store.ArtifactStore` or a directory path) enables the
+    content-addressed artifact store: a stored result for the identical
+    resolved spec is returned directly with ``from_cache=True`` (unless
+    ``force``), and fresh results are stored on the way out.
+    """
+    resolved = as_experiment_spec(spec, params).resolved()
+    store = None
+    if cache is not None:
+        from ..store import as_store
+
+        store = as_store(cache)
+        if not force:
+            hit = store.get(resolved)
+            if hit is not None:
+                hit.from_cache = True
+                return hit
+    info = get_experiment_kind(resolved.kind)
+    context = ExperimentContext(backend=backend, max_workers=max_workers)
+    start = time.perf_counter()
+    outcome = info.runner(dict(resolved.params), context)
+    wall_time_s = time.perf_counter() - start
+    rows = [dict(_jsonify(row)) for row in outcome.rows]
+    result = ExperimentResult(
+        spec=resolved,
+        columns=list(rows[0]) if rows else [],
+        rows=rows,
+        summary=dict(_jsonify(outcome.summary or {})),
+        provenance=_provenance(resolved, context, wall_time_s),
+        traces=None if outcome.traces is None else dict(_jsonify(outcome.traces)),
+        raw=outcome.raw,
+    )
+    result.validate()
+    if store is not None:
+        store.put(result)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Speccability helpers shared by the deprecated wrapper entry points
+# --------------------------------------------------------------------------- #
+# Each legacy `run_*` function tries to express its arguments as a JSON
+# parameter dict; when that succeeds the call routes through the registered
+# kind (one canonical code path, full provenance), and when an argument is
+# genuinely unspeccable (a closure-based factory, a custom subclass) the
+# wrapper falls back to the identical direct implementation.
+
+
+def maybe_spec_params(build: Callable[[], Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Run a params builder, mapping speccability failures to ``None``."""
+    try:
+        return build()
+    except (SpecError, TypeError):
+        return None
+
+
+def run_via_spec(
+    kind: str,
+    params: Dict[str, Any],
+    *,
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+):
+    """Run a kind through the canonical path and hand back the legacy object."""
+    result = run_experiment(
+        ExperimentSpec(kind, params), backend=backend, max_workers=max_workers
+    )
+    return result.raw
+
+
+def pair_param(pair) -> Dict[str, Any]:
+    """Speccify an involution pair argument (live pair or spec dict)."""
+    from ..specs import as_pair, pair_to_dict
+
+    if isinstance(pair, Mapping):
+        return dict(pair)
+    return pair_to_dict(as_pair(pair))
+
+
+def eta_param(eta) -> Optional[Dict[str, Any]]:
+    """Speccify an optional eta-bound argument."""
+    from ..specs import as_eta, eta_to_dict
+
+    if eta is None:
+        return None
+    if isinstance(eta, Mapping):
+        return dict(eta)
+    return eta_to_dict(as_eta(eta))
+
+
+def adversary_param(factory) -> Dict[str, Any]:
+    """Speccify one adversary factory (spec, dict, instance, or callable)."""
+    from ..core.adversary import Adversary
+    from ..specs import AdversarySpec
+
+    if isinstance(factory, AdversarySpec):
+        return factory.to_dict()
+    if isinstance(factory, Mapping):
+        return dict(factory)
+    if isinstance(factory, Adversary):
+        return AdversarySpec.from_adversary(factory).to_dict()
+    if callable(factory):
+        return AdversarySpec.from_adversary(factory()).to_dict()
+    raise SpecError(f"cannot speccify adversary factory {factory!r}")
+
+
+def channel_param(factory) -> Dict[str, Any]:
+    """Speccify one channel factory (spec, dict, instance, or callable)."""
+    from ..core.channel import Channel
+    from ..specs import ChannelSpec
+
+    if isinstance(factory, ChannelSpec):
+        return factory.to_dict()
+    if isinstance(factory, Channel):
+        return ChannelSpec.from_channel(factory).to_dict()
+    if isinstance(factory, Mapping):
+        return dict(factory)
+    if callable(factory):
+        return ChannelSpec.from_channel(factory()).to_dict()
+    raise SpecError(f"cannot speccify channel factory {factory!r}")
+
+
+def technology_param(technology) -> Union[str, Dict[str, Any]]:
+    """Speccify a technology argument: preset name, dict, or field dict.
+
+    Subclasses of :class:`~repro.analog.technology.Technology` may override
+    behaviour that a field dict cannot capture, so only exact instances are
+    speccable.
+    """
+    from ..analog.technology import (
+        TECHNOLOGY_PRESETS,
+        Technology,
+        technology_to_dict,
+    )
+
+    if isinstance(technology, str):
+        return technology
+    if isinstance(technology, Mapping):
+        return dict(technology)
+    if type(technology) is Technology:
+        for name, preset in TECHNOLOGY_PRESETS.items():
+            if technology == preset:
+                return name
+        return technology_to_dict(technology)
+    raise SpecError(f"cannot speccify technology {technology!r}")
+
+
+def signal_param(signal) -> Optional[Dict[str, Any]]:
+    """Speccify an optional stimulus signal argument."""
+    from ..core.transitions import Signal
+    from ..io.netlist import signal_to_dict
+
+    if signal is None:
+        return None
+    if isinstance(signal, Mapping):
+        return dict(signal)
+    if isinstance(signal, Signal):
+        return signal_to_dict(signal)
+    raise SpecError(f"cannot speccify stimulus {signal!r}")

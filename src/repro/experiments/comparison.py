@@ -12,30 +12,29 @@ remain faithful.
 This driver propagates a train of narrow pulses through an inverter chain
 modelled with each of the channel families and records how many pulses
 survive at every stage -- reproducing the qualitative comparison that
-motivates the paper (and Fig. 2's pulse-attenuation behaviour).
+motivates the paper (and Fig. 2's pulse-attenuation behaviour).  It is the
+registered ``comparison`` experiment kind; :func:`run_model_comparison` is
+the thin deprecated wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..circuits.library import inverter_chain
-from ..core.adversary import EtaBound, RandomAdversary, ZeroAdversary
-from ..core.baselines import (
-    DegradationDelayChannel,
-    InertialDelayChannel,
-    PureDelayChannel,
-)
 from ..core.channel import Channel
 from ..core.constraint import admissible_eta_bound
-from ..core.eta_channel import EtaInvolutionChannel
 from ..core.involution import InvolutionPair
-from ..core.involution_channel import InvolutionChannel
 from ..core.transitions import Signal
 from ..engine.sweep import Scenario, channel_overrides, run_many
+from ..specs import AdversarySpec, ChannelSpec, register_experiment_kind
+from .base import (
+    ExperimentOutcome,
+    channel_param,
+    maybe_spec_params,
+    run_via_spec,
+)
 
 __all__ = ["ModelComparisonResult", "run_model_comparison", "default_model_factories"]
 
@@ -46,23 +45,26 @@ def default_model_factories(
     *,
     eta_plus: float = 0.05,
     seed: int = 11,
-) -> Dict[str, Callable[[], Channel]]:
-    """Channel factories with comparable nominal delays for all model families.
+) -> Dict[str, ChannelSpec]:
+    """Channel specs with comparable nominal delays for all model families.
 
     The nominal (saturated) delay of the involution exp-channel is
     ``t_p + tau*ln(2)``; the pure/inertial/DDM channels are parametrised to
     the same nominal delay so the comparison isolates the glitch handling.
+    Earlier revisions returned factory callables; the returned
+    :class:`~repro.specs.ChannelSpec` objects are accepted everywhere
+    factories were (:func:`repro.specs.as_channel_factory`).
     """
     pair = InvolutionPair.exp_channel(tau, t_p)
     nominal_delay = pair.delta_up_inf
     eta = admissible_eta_bound(pair, eta_plus)
     return {
-        "pure": lambda: PureDelayChannel(nominal_delay),
-        "inertial": lambda: InertialDelayChannel(nominal_delay, window=t_p),
-        "ddm": lambda: DegradationDelayChannel(nominal_delay, tau_deg=tau),
-        "involution": lambda: InvolutionChannel(InvolutionPair.exp_channel(tau, t_p)),
-        "eta_involution": lambda: EtaInvolutionChannel(
-            InvolutionPair.exp_channel(tau, t_p), eta, RandomAdversary(seed=seed)
+        "pure": ChannelSpec("pure", delay=nominal_delay),
+        "inertial": ChannelSpec("inertial", delay=nominal_delay, window=t_p),
+        "ddm": ChannelSpec("ddm", delta_nominal=nominal_delay, tau_deg=tau),
+        "involution": ChannelSpec.exp_involution(tau, t_p),
+        "eta_involution": ChannelSpec.exp_eta_involution(
+            tau, t_p, eta, adversary=AdversarySpec("random", seed=seed)
         ),
     }
 
@@ -91,7 +93,7 @@ class ModelComparisonResult:
         return rows
 
 
-def run_model_comparison(
+def _run_model_comparison(
     *,
     stages: int = 5,
     pulse_width: float = 0.4,
@@ -99,10 +101,13 @@ def run_model_comparison(
     pulse_count: int = 8,
     tau: float = 1.0,
     t_p: float = 0.5,
-    factories: Optional[Dict[str, Callable[[], Channel]]] = None,
+    factories: Optional[Dict[str, object]] = None,
     end_time: float = 200.0,
-) -> ModelComparisonResult:
-    """Propagate a narrow-pulse train through an inverter chain per model.
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+    record_traces: bool = False,
+) -> Tuple[ModelComparisonResult, Optional[Dict[str, dict]]]:
+    """The model-comparison implementation (shared by wrapper and kind runner).
 
     Every model uses the same chain topology; the recorded metric is the
     number of surviving pulses at each stage output (either polarity, since
@@ -133,10 +138,17 @@ def run_model_comparison(
         )
         for model, factory in factories.items()
     ]
-    sweep = run_many(circuit, scenarios, max_events=2_000_000)
+    sweep = run_many(
+        circuit,
+        scenarios,
+        max_events=2_000_000,
+        backend=backend,
+        max_workers=max_workers,
+    )
 
     stage_survivors: Dict[str, List[int]] = {}
     output_transitions: Dict[str, int] = {}
+    traces: Optional[Dict[str, dict]] = {} if record_traces else None
     for run in sweep:
         model = run.scenario.name
         execution = run.execution
@@ -147,9 +159,125 @@ def run_model_comparison(
             survivors.append(len(signal.pulses(polarity)))
         stage_survivors[model] = survivors
         output_transitions[model] = len(execution.output_signals["out"])
-    return ModelComparisonResult(
-        pulse_width=pulse_width,
-        pulse_count=pulse_count,
-        stage_survivors=stage_survivors,
-        output_transitions=output_transitions,
+        if traces is not None:
+            from ..io.netlist import signal_to_dict
+
+            traces[f"{model}.out"] = signal_to_dict(
+                execution.output_signals["out"]
+            )
+    return (
+        ModelComparisonResult(
+            pulse_width=pulse_width,
+            pulse_count=pulse_count,
+            stage_survivors=stage_survivors,
+            output_transitions=output_transitions,
+        ),
+        traces,
     )
+
+
+def run_model_comparison(
+    *,
+    stages: int = 5,
+    pulse_width: float = 0.4,
+    gap: float = 0.6,
+    pulse_count: int = 8,
+    tau: float = 1.0,
+    t_p: float = 0.5,
+    factories: Optional[Dict[str, Callable[[], Channel]]] = None,
+    end_time: float = 200.0,
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+) -> ModelComparisonResult:
+    """Propagate a narrow-pulse train through an inverter chain per model.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("comparison", {...})``; this wrapper
+        routes speccable arguments through the canonical path and only
+        falls back to a direct call for unspeccable channel factories.
+    """
+    params = maybe_spec_params(
+        lambda: {
+            "stages": int(stages),
+            "pulse_width": float(pulse_width),
+            "gap": float(gap),
+            "pulse_count": int(pulse_count),
+            "tau": float(tau),
+            "t_p": float(t_p),
+            "factories": (
+                None
+                if factories is None
+                else {
+                    model: channel_param(factory)
+                    for model, factory in factories.items()
+                }
+            ),
+            "end_time": float(end_time),
+            "record_traces": False,
+        }
+    )
+    if params is not None:
+        return run_via_spec(
+            "comparison", params, backend=backend, max_workers=max_workers
+        )
+    result, _ = _run_model_comparison(
+        stages=stages,
+        pulse_width=pulse_width,
+        gap=gap,
+        pulse_count=pulse_count,
+        tau=tau,
+        t_p=t_p,
+        factories=factories,
+        end_time=end_time,
+        backend=backend,
+        max_workers=max_workers,
+    )
+    return result
+
+
+def _comparison_experiment(params: dict, context) -> ExperimentOutcome:
+    result, traces = _run_model_comparison(
+        stages=params["stages"],
+        pulse_width=params["pulse_width"],
+        gap=params["gap"],
+        pulse_count=params["pulse_count"],
+        tau=params["tau"],
+        t_p=params["t_p"],
+        factories=params["factories"],
+        end_time=params["end_time"],
+        backend=context.backend,
+        max_workers=context.max_workers,
+        record_traces=bool(params["record_traces"]),
+    )
+    return ExperimentOutcome(
+        rows=result.rows(),
+        summary={
+            "pulse_width": result.pulse_width,
+            "pulse_count": result.pulse_count,
+            "models": sorted(result.stage_survivors),
+        },
+        traces=traces,
+        raw=result,
+    )
+
+
+register_experiment_kind(
+    "comparison",
+    _comparison_experiment,
+    description=(
+        "Delay-model comparison: propagate a narrow glitch train through an "
+        "inverter chain under pure/inertial/DDM/involution/eta-involution "
+        "channels and count surviving pulses per stage"
+    ),
+    defaults={
+        "stages": 5,
+        "pulse_width": 0.4,
+        "gap": 0.6,
+        "pulse_count": 8,
+        "tau": 1.0,
+        "t_p": 0.5,
+        "factories": None,
+        "end_time": 200.0,
+        "record_traces": False,
+    },
+)

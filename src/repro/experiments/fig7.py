@@ -10,20 +10,25 @@ analog substrate are:
 * the growth explodes as V_DD approaches the transistor threshold voltage
   (the 0.3 V curve is an order of magnitude above the 1.0 V curve),
 * for small/negative ``T`` the delay drops steeply (pulse attenuation).
+
+The registered ``fig7`` experiment kind runs this characterisation from a
+declarative parameter set; :func:`run_fig7` is the deprecated wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..analog.chain import AnalogInverterChain
-from ..analog.technology import Technology, UMC90
+from ..analog.technology import Technology, UMC90, as_technology
 from ..analog.variations import ConstantSupply
 from ..engine.sweep import sweep_map
 from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
+from ..specs import register_experiment_kind
+from .base import ExperimentOutcome, maybe_spec_params, run_via_spec, technology_param
 
 __all__ = ["Fig7Curve", "Fig7Result", "run_fig7", "DEFAULT_VDD_LEVELS"]
 
@@ -86,8 +91,8 @@ class Fig7Result:
         return rows
 
 
-def run_fig7(
-    technology: Technology = UMC90,
+def _run_fig7(
+    technology: Union[Technology, str, dict] = UMC90,
     vdd_levels: Sequence[float] = DEFAULT_VDD_LEVELS,
     *,
     stages: int = 3,
@@ -108,6 +113,7 @@ def run_fig7(
     closure over the analog chain keeps this driver off the picklable
     process backend.
     """
+    technology = as_technology(technology)
 
     def characterise(vdd: float) -> Fig7Curve:
         chain = AnalogInverterChain(technology, stages=stages)
@@ -139,3 +145,85 @@ def run_fig7(
     )
     curves = {curve.vdd: curve for curve in results}
     return Fig7Result(curves=curves, polarity="delta_up" if rising_output else "delta_down")
+
+
+def run_fig7(
+    technology: Union[Technology, str, dict] = UMC90,
+    vdd_levels: Sequence[float] = DEFAULT_VDD_LEVELS,
+    *,
+    stages: int = 3,
+    stage_index: int = 1,
+    n_widths: int = 24,
+    rising_output: bool = False,
+    max_workers: Optional[int] = None,
+) -> Fig7Result:
+    """Characterise ``delta(T)`` of one inverter stage for several supplies.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("fig7", {...})``; this wrapper routes
+        speccable arguments through the canonical path and only falls back
+        to a direct call for custom :class:`Technology` subclasses.
+    """
+    params = maybe_spec_params(
+        lambda: {
+            "technology": technology_param(technology),
+            "vdd_levels": [float(v) for v in vdd_levels],
+            "stages": int(stages),
+            "stage_index": int(stage_index),
+            "n_widths": int(n_widths),
+            "rising_output": bool(rising_output),
+        }
+    )
+    if params is not None:
+        return run_via_spec("fig7", params, max_workers=max_workers)
+    return _run_fig7(
+        technology,
+        vdd_levels,
+        stages=stages,
+        stage_index=stage_index,
+        n_widths=n_widths,
+        rising_output=rising_output,
+        max_workers=max_workers,
+    )
+
+
+def _fig7_experiment(params: dict, context) -> ExperimentOutcome:
+    result = _run_fig7(
+        params["technology"],
+        params["vdd_levels"],
+        stages=params["stages"],
+        stage_index=params["stage_index"],
+        n_widths=params["n_widths"],
+        rising_output=params["rising_output"],
+        max_workers=context.max_workers,
+    )
+    return ExperimentOutcome(
+        rows=result.rows(),
+        summary={
+            "polarity": result.polarity,
+            "monotone_in_vdd": result.is_monotone_in_vdd(),
+            "saturation_delays": {
+                f"{vdd:g}": delay
+                for vdd, delay in sorted(result.saturation_delays().items())
+            },
+        },
+        raw=result,
+    )
+
+
+register_experiment_kind(
+    "fig7",
+    _fig7_experiment,
+    description=(
+        "Delay characterisation across supply voltages (Fig. 7): measure "
+        "delta(T) of one analog inverter stage per V_DD level"
+    ),
+    defaults={
+        "technology": "UMC90",
+        "vdd_levels": list(DEFAULT_VDD_LEVELS),
+        "stages": 3,
+        "stage_index": 1,
+        "n_widths": 24,
+        "rising_output": False,
+    },
+)

@@ -16,22 +16,27 @@ maximal under constraint (C)).  The qualitative findings to reproduce:
 * the 10 % narrower transistors (c) exceed the band as ``T`` grows,
 * the absolute deviation grows with ``T`` in all cases, so coverage is
   best exactly in the small-``T`` region relevant for faithfulness.
+
+The registered ``fig8`` experiment kind runs this analysis declaratively;
+:func:`run_fig8` is the deprecated wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..analog.chain import AnalogInverterChain
-from ..analog.technology import Technology, UMC90
+from ..analog.technology import Technology, UMC90, as_technology
 from ..analog.variations import VariationScenario, standard_variations
 from ..core.involution import InvolutionPair
 from ..engine.sweep import sweep_map
 from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
 from ..fitting.eta_coverage import DeviationAnalysis, compute_deviations, eta_band
+from ..specs import register_experiment_kind
+from .base import ExperimentOutcome, maybe_spec_params, run_via_spec, technology_param
 
 __all__ = ["Fig8Scenario", "Fig8Result", "run_fig8", "DEFAULT_SCENARIOS"]
 
@@ -83,8 +88,8 @@ def _default_widths(technology: Technology, n_widths: int) -> np.ndarray:
     return np.concatenate([narrow, wide])
 
 
-def run_fig8(
-    technology: Technology = UMC90,
+def _run_fig8(
+    technology: Union[Technology, str, dict] = UMC90,
     scenarios: Sequence[str] = DEFAULT_SCENARIOS,
     *,
     stages: int = 3,
@@ -95,7 +100,7 @@ def run_fig8(
     seed: int = 2018,
     max_workers: Optional[int] = None,
 ) -> Fig8Result:
-    """Run the Fig. 8 deviation/coverage experiment.
+    """The Fig. 8 deviation/coverage implementation.
 
     The reference delay pair is characterised under nominal conditions;
     each scenario re-characterises the same stage under its variation
@@ -109,6 +114,7 @@ def run_fig8(
     releases the GIL, so threads scale here, while the event-driven eta
     sweeps should prefer ``run_many(backend="process")``.
     """
+    technology = as_technology(technology)
     widths = _default_widths(technology, n_widths)
     nominal_chain = AnalogInverterChain(technology, stages=stages)
     nominal_driver = CharacterizationDriver(nominal_chain, stage_index=stage_index)
@@ -148,3 +154,94 @@ def run_fig8(
     )
     results = {scenario.name: scenario for scenario in characterised}
     return Fig8Result(scenarios=results, reference=reference, eta_plus=float(eta_plus))
+
+
+def run_fig8(
+    technology: Union[Technology, str, dict] = UMC90,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    *,
+    stages: int = 3,
+    stage_index: int = 1,
+    n_widths: int = 20,
+    eta_plus: Optional[float] = None,
+    supply_amplitude: float = 0.01,
+    seed: int = 2018,
+    max_workers: Optional[int] = None,
+) -> Fig8Result:
+    """Run the Fig. 8 deviation/coverage experiment.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("fig8", {...})``; this wrapper routes
+        speccable arguments through the canonical path and only falls back
+        to a direct call for custom :class:`Technology` subclasses.
+    """
+    params = maybe_spec_params(
+        lambda: {
+            "technology": technology_param(technology),
+            "scenarios": [str(s) for s in scenarios],
+            "stages": int(stages),
+            "stage_index": int(stage_index),
+            "n_widths": int(n_widths),
+            "eta_plus": None if eta_plus is None else float(eta_plus),
+            "supply_amplitude": float(supply_amplitude),
+            "seed": int(seed),
+        }
+    )
+    if params is not None:
+        return run_via_spec("fig8", params, max_workers=max_workers)
+    return _run_fig8(
+        technology,
+        scenarios,
+        stages=stages,
+        stage_index=stage_index,
+        n_widths=n_widths,
+        eta_plus=eta_plus,
+        supply_amplitude=supply_amplitude,
+        seed=seed,
+        max_workers=max_workers,
+    )
+
+
+def _fig8_experiment(params: dict, context) -> ExperimentOutcome:
+    from ..specs import pair_to_dict
+
+    result = _run_fig8(
+        params["technology"],
+        params["scenarios"],
+        stages=params["stages"],
+        stage_index=params["stage_index"],
+        n_widths=params["n_widths"],
+        eta_plus=params["eta_plus"],
+        supply_amplitude=params["supply_amplitude"],
+        seed=params["seed"],
+        max_workers=context.max_workers,
+    )
+    return ExperimentOutcome(
+        rows=result.rows(),
+        summary={
+            "eta_plus": result.eta_plus,
+            "reference_pair": pair_to_dict(result.reference),
+        },
+        raw=result,
+    )
+
+
+register_experiment_kind(
+    "fig8",
+    _fig8_experiment,
+    description=(
+        "Eta-band coverage under variations (Fig. 8): deviations of "
+        "supply-ripple and width-variation characterisations from the "
+        "nominal reference, checked against the admissible band"
+    ),
+    defaults={
+        "technology": "UMC90",
+        "scenarios": list(DEFAULT_SCENARIOS),
+        "stages": 3,
+        "stage_index": 1,
+        "n_widths": 20,
+        "eta_plus": None,
+        "supply_amplitude": 0.01,
+        "seed": 2018,
+    },
+)

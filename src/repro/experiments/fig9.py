@@ -10,21 +10,23 @@ exp-channel instead of the full measured delay function?  The answer is
 This driver characterises the stage, fits the exp-channel, and evaluates
 the deviation of the fitted model against the measured samples together
 with the eta band of the *fitted* pair (as in the paper, where the band is
-derived from the delay function used for prediction).
+derived from the delay function used for prediction).  It is the
+registered ``fig9`` experiment kind; :func:`run_fig9` is the deprecated
+wrapper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
-
-import numpy as np
+from typing import Dict, Optional, Union
 
 from ..analog.chain import AnalogInverterChain
-from ..analog.technology import Technology, UMC90
+from ..analog.technology import Technology, UMC90, as_technology
 from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
 from ..fitting.eta_coverage import DeviationAnalysis, compute_deviations, eta_band
 from ..fitting.exp_fit import ExpFitResult, fit_exp_channel
+from ..specs import register_experiment_kind
+from .base import ExperimentOutcome, maybe_spec_params, run_via_spec, technology_param
 from .fig8 import _default_widths
 
 __all__ = ["Fig9Result", "run_fig9"]
@@ -52,8 +54,8 @@ class Fig9Result:
         return [row]
 
 
-def run_fig9(
-    technology: Technology = UMC90,
+def _run_fig9(
+    technology: Union[Technology, str, dict] = UMC90,
     *,
     stages: int = 3,
     stage_index: int = 1,
@@ -62,6 +64,7 @@ def run_fig9(
     fit_threshold: bool = True,
 ) -> Fig9Result:
     """Characterise a stage, fit an exp-channel and analyse its deviations."""
+    technology = as_technology(technology)
     widths = _default_widths(technology, n_widths)
     chain = AnalogInverterChain(technology, stages=stages)
     driver = CharacterizationDriver(chain, stage_index=stage_index)
@@ -78,3 +81,81 @@ def run_fig9(
         analysis=analysis,
         summary=analysis.summary(),
     )
+
+
+def run_fig9(
+    technology: Union[Technology, str, dict] = UMC90,
+    *,
+    stages: int = 3,
+    stage_index: int = 1,
+    n_widths: int = 24,
+    eta_plus: Optional[float] = None,
+    fit_threshold: bool = True,
+) -> Fig9Result:
+    """Characterise a stage, fit an exp-channel and analyse its deviations.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("fig9", {...})``; this wrapper routes
+        speccable arguments through the canonical path and only falls back
+        to a direct call for custom :class:`Technology` subclasses.
+    """
+    params = maybe_spec_params(
+        lambda: {
+            "technology": technology_param(technology),
+            "stages": int(stages),
+            "stage_index": int(stage_index),
+            "n_widths": int(n_widths),
+            "eta_plus": None if eta_plus is None else float(eta_plus),
+            "fit_threshold": bool(fit_threshold),
+        }
+    )
+    if params is not None:
+        return run_via_spec("fig9", params)
+    return _run_fig9(
+        technology,
+        stages=stages,
+        stage_index=stage_index,
+        n_widths=n_widths,
+        eta_plus=eta_plus,
+        fit_threshold=fit_threshold,
+    )
+
+
+def _fig9_experiment(params: dict, context) -> ExperimentOutcome:
+    result = _run_fig9(
+        params["technology"],
+        stages=params["stages"],
+        stage_index=params["stage_index"],
+        n_widths=params["n_widths"],
+        eta_plus=params["eta_plus"],
+        fit_threshold=params["fit_threshold"],
+    )
+    return ExperimentOutcome(
+        rows=result.rows(),
+        summary={
+            "tau": result.fit.tau,
+            "t_p": result.fit.t_p,
+            "v_th": result.fit.v_th,
+            "n_fit_samples": result.fit.n_samples,
+        },
+        raw=result,
+    )
+
+
+register_experiment_kind(
+    "fig9",
+    _fig9_experiment,
+    description=(
+        "Exp-channel fit (Fig. 9): fit tau/t_p/v_th to the measured delay "
+        "samples and analyse the fitted model's deviations against its "
+        "own eta band"
+    ),
+    defaults={
+        "technology": "UMC90",
+        "stages": 3,
+        "stage_index": 1,
+        "n_widths": 24,
+        "eta_plus": None,
+        "fit_threshold": True,
+    },
+)

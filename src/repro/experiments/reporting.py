@@ -25,7 +25,11 @@ def format_value(value: object, precision: int = 4) -> str:
             return "0"
         magnitude = abs(value)
         if magnitude >= 1e5 or magnitude < 1e-3:
-            return f"{value:.{precision}g}"
+            # Deliberate scientific notation for very large/small magnitudes:
+            # `g` alone keeps e.g. 0.0001235 in fixed notation, which makes
+            # columns of mixed magnitudes hard to scan.  `precision` counts
+            # significant digits, hence the exponent-format precision - 1.
+            return f"{value:.{max(precision - 1, 0)}e}"
         return f"{value:.{precision}g}"
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(format_value(v, precision) for v in value) + "]"

@@ -4,14 +4,18 @@ The paper argues that involution channels "can easily be used with existing
 tools" for dynamic timing analysis; the practical counterpart in this
 reproduction is the throughput of the event-driven simulator.  This driver
 measures events per second over circuit size and stimulus length, which the
-benchmark harness reports alongside the figure reproductions.
+benchmark harness reports alongside the figure reproductions.  It is the
+registered ``scaling`` experiment kind; :func:`run_scaling` is the
+deprecated wrapper.  The event counts are deterministic; the ``seconds``
+and ``events_per_second`` columns are wall-clock measurements and
+therefore vary between (otherwise equal) reruns.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -22,6 +26,8 @@ from ..core.eta_channel import EtaInvolutionChannel
 from ..core.involution import InvolutionPair
 from ..core.transitions import Signal
 from ..engine.scheduler import CircuitTopology, Engine
+from ..specs import register_experiment_kind
+from .base import ExperimentOutcome, channel_param, maybe_spec_params, run_via_spec
 
 __all__ = ["ScalingSample", "run_scaling"]
 
@@ -43,7 +49,7 @@ class ScalingSample:
         return self.events / self.seconds
 
 
-def run_scaling(
+def _run_scaling(
     stage_counts: Sequence[int] = (4, 8, 16, 32),
     *,
     input_transitions: int = 200,
@@ -105,3 +111,96 @@ def run_scaling(
             )
         )
     return samples
+
+
+def run_scaling(
+    stage_counts: Sequence[int] = (4, 8, 16, 32),
+    *,
+    input_transitions: int = 200,
+    tau: float = 1.0,
+    t_p: float = 0.5,
+    eta_plus: float = 0.05,
+    seed: int = 3,
+    use_eta: bool = True,
+    channel=None,
+) -> List[ScalingSample]:
+    """Measure simulator throughput for chains of increasing depth.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("scaling", {...})``; this wrapper
+        routes speccable arguments through the canonical path and only
+        falls back to a direct call for unspeccable channel factories.
+    """
+    params = maybe_spec_params(
+        lambda: {
+            "stage_counts": [int(s) for s in stage_counts],
+            "input_transitions": int(input_transitions),
+            "tau": float(tau),
+            "t_p": float(t_p),
+            "eta_plus": float(eta_plus),
+            "seed": int(seed),
+            "use_eta": bool(use_eta),
+            "channel": None if channel is None else channel_param(channel),
+        }
+    )
+    if params is not None:
+        return run_via_spec("scaling", params)
+    return _run_scaling(
+        stage_counts,
+        input_transitions=input_transitions,
+        tau=tau,
+        t_p=t_p,
+        eta_plus=eta_plus,
+        seed=seed,
+        use_eta=use_eta,
+        channel=channel,
+    )
+
+
+def _scaling_experiment(params: dict, context) -> ExperimentOutcome:
+    samples = _run_scaling(
+        params["stage_counts"],
+        input_transitions=params["input_transitions"],
+        tau=params["tau"],
+        t_p=params["t_p"],
+        eta_plus=params["eta_plus"],
+        seed=params["seed"],
+        use_eta=params["use_eta"],
+        channel=params["channel"],
+    )
+    rows = [
+        {
+            "stages": sample.stages,
+            "input_transitions": sample.input_transitions,
+            "events": sample.events,
+            "seconds": sample.seconds,
+            "events_per_second": sample.events_per_second,
+        }
+        for sample in samples
+    ]
+    return ExperimentOutcome(
+        rows=rows,
+        summary={"total_events": sum(s.events for s in samples)},
+        raw=samples,
+    )
+
+
+register_experiment_kind(
+    "scaling",
+    _scaling_experiment,
+    description=(
+        "Simulator throughput scaling: events per second of the event loop "
+        "over inverter-chain depth (event counts deterministic, timings "
+        "wall-clock)"
+    ),
+    defaults={
+        "stage_counts": [4, 8, 16, 32],
+        "input_transitions": 200,
+        "tau": 1.0,
+        "t_p": 0.5,
+        "eta_plus": 0.05,
+        "seed": 3,
+        "use_eta": True,
+        "channel": None,
+    },
+)

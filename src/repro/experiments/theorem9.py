@@ -10,30 +10,37 @@ drivers
   adversaries (THM9), and
 * sweep the noise bound ``eta_plus`` and tabulate ``tau``, ``Delta``,
   ``P``, ``gamma`` and ``Delta_0_tilde`` (LEM5).
+
+Both are registered experiment kinds (``theorem9``, ``lemma5``); the
+:func:`run_theorem9` / :func:`run_lemma5_sweep` entry points are thin
+deprecated wrappers that route speccable arguments through the canonical
+:func:`repro.experiments.run_experiment` path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.library import fed_back_or
-from ..core.adversary import (
-    Adversary,
-    BestCaseAdversary,
-    EtaBound,
-    RandomAdversary,
-    WorstCaseAdversary,
-    ZeroAdversary,
-)
+from ..core.adversary import Adversary, EtaBound, ZeroAdversary
 from ..core.constraint import admissible_eta_bound
 from ..core.eta_channel import EtaInvolutionChannel
 from ..core.involution import InvolutionPair
 from ..core.transitions import Signal
 from ..engine.sweep import Scenario, run_many
+from ..specs import AdversarySpec, register_experiment_kind
 from ..spf.analysis import SPFAnalysis, SPFRegime
+from .base import (
+    ExperimentOutcome,
+    adversary_param,
+    eta_param,
+    maybe_spec_params,
+    pair_param,
+    run_via_spec,
+)
 
 __all__ = [
     "RegimeObservation",
@@ -43,14 +50,22 @@ __all__ = [
     "default_adversaries",
 ]
 
+#: Default parameters of the exp-channel pair used when none is given.
+_DEFAULT_PAIR = {"kind": "exp", "tau": 1.0, "t_p": 0.5, "v_th": 0.5}
 
-def default_adversaries(seed: int = 7) -> Dict[str, Callable[[], Adversary]]:
-    """The adversary set used by the Theorem 9 sweep."""
+
+def default_adversaries(seed: int = 7) -> Dict[str, AdversarySpec]:
+    """The adversary set used by the Theorem 9 sweep (as declarative specs).
+
+    Earlier revisions returned factory callables; every entry point coerces
+    through :func:`repro.specs.as_adversary_factory`, which accepts both,
+    so callables still work where callers pass their own.
+    """
     return {
-        "zero": ZeroAdversary,
-        "worst": WorstCaseAdversary,
-        "best": BestCaseAdversary,
-        "random": lambda: RandomAdversary(seed=seed),
+        "zero": AdversarySpec("zero"),
+        "worst": AdversarySpec("worst"),
+        "best": AdversarySpec("best"),
+        "random": AdversarySpec("random", seed=seed),
     }
 
 
@@ -116,23 +131,26 @@ def _check_consistency(
     return True
 
 
-def run_theorem9(
-    pair: InvolutionPair,
-    eta: Optional[EtaBound] = None,
+def _run_theorem9(
+    pair: Union[InvolutionPair, dict],
+    eta: Optional[Union[EtaBound, dict]] = None,
     *,
     eta_plus: float = 0.05,
     pulse_lengths: Optional[Sequence[float]] = None,
-    adversaries: Optional[Dict[str, Callable[[], Adversary]]] = None,
+    adversaries: Optional[Dict[str, object]] = None,
     end_time: float = 400.0,
     max_events: int = 2_000_000,
-) -> Theorem9Result:
-    """Sweep input pulse lengths across the Theorem 9 regimes.
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+    record_traces: bool = False,
+) -> Tuple[Theorem9Result, Optional[Dict[str, dict]]]:
+    """The Theorem 9 sweep implementation (shared by wrapper and kind runner).
 
     For each (pulse length, adversary) pair the fed-back OR is simulated and
     the observed output is checked against the analytical predictions.
     ``pair``/``eta`` may be given as live objects or as their declarative
     spec dicts (:mod:`repro.specs`); adversary factories may be
-    :class:`~repro.specs.AdversarySpec` objects.
+    :class:`~repro.specs.AdversarySpec` objects, spec dicts, or callables.
     """
     from ..specs import as_adversary_factory, as_eta, as_pair
 
@@ -173,9 +191,16 @@ def run_theorem9(
         for name, factory in adversaries.items()
         for delta_0 in pulse_lengths
     ]
-    sweep = run_many(circuit, scenarios, max_events=max_events)
+    sweep = run_many(
+        circuit,
+        scenarios,
+        max_events=max_events,
+        backend=backend,
+        max_workers=max_workers,
+    )
 
     observations: List[RegimeObservation] = []
+    traces: Optional[Dict[str, dict]] = {} if record_traces else None
     for run in sweep:
         delta_0 = run.scenario.metadata["delta_0"]
         name = run.scenario.metadata["adversary"]
@@ -197,23 +222,96 @@ def run_theorem9(
                 consistent=_check_consistency(analysis, regime, delta_0, output),
             )
         )
-    return Theorem9Result(
-        analysis_summary=analysis.summary(), observations=observations
+        if traces is not None:
+            from ..io.netlist import signal_to_dict
+
+            traces[f"{run.scenario.name}.or_out"] = signal_to_dict(output)
+    return (
+        Theorem9Result(analysis_summary=analysis.summary(), observations=observations),
+        traces,
     )
 
 
-def run_lemma5_sweep(
-    pair: InvolutionPair,
+def _theorem9_params(
+    pair, eta, eta_plus, pulse_lengths, adversaries, end_time, max_events
+) -> Optional[dict]:
+    """Speccify the wrapper arguments, or ``None`` if any is unspeccable."""
+
+    def build() -> dict:
+        return {
+            "pair": pair_param(pair),
+            "eta": eta_param(eta),
+            "eta_plus": float(eta_plus),
+            "pulse_lengths": (
+                None
+                if pulse_lengths is None
+                else [float(x) for x in pulse_lengths]
+            ),
+            "adversaries": (
+                None
+                if adversaries is None
+                else {
+                    name: adversary_param(factory)
+                    for name, factory in adversaries.items()
+                }
+            ),
+            "end_time": float(end_time),
+            "max_events": int(max_events),
+            "record_traces": False,
+        }
+
+    return maybe_spec_params(build)
+
+
+def run_theorem9(
+    pair: Union[InvolutionPair, dict],
+    eta: Optional[Union[EtaBound, dict]] = None,
+    *,
+    eta_plus: float = 0.05,
+    pulse_lengths: Optional[Sequence[float]] = None,
+    adversaries: Optional[Dict[str, Callable[[], Adversary]]] = None,
+    end_time: float = 400.0,
+    max_events: int = 2_000_000,
+    backend: str = "sequential",
+    max_workers: Optional[int] = None,
+) -> Theorem9Result:
+    """Sweep input pulse lengths across the Theorem 9 regimes.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("theorem9", {...})`` (or
+        ``ExperimentSpec("theorem9", ...).run()``) -- this wrapper routes
+        speccable arguments through that canonical path and only falls
+        back to a direct call for unspeccable live objects (e.g. closure
+        factories for unregistered adversary classes).
+    """
+    params = _theorem9_params(
+        pair, eta, eta_plus, pulse_lengths, adversaries, end_time, max_events
+    )
+    if params is not None:
+        return run_via_spec(
+            "theorem9", params, backend=backend, max_workers=max_workers
+        )
+    result, _ = _run_theorem9(
+        pair,
+        eta,
+        eta_plus=eta_plus,
+        pulse_lengths=pulse_lengths,
+        adversaries=adversaries,
+        end_time=end_time,
+        max_events=max_events,
+        backend=backend,
+        max_workers=max_workers,
+    )
+    return result
+
+
+def _run_lemma5(
+    pair: Union[InvolutionPair, dict],
     eta_plus_values: Sequence[float],
     *,
     back_off: float = 1e-3,
 ) -> List[Dict[str, float]]:
-    """Tabulate the Lemma 5/6/8 quantities over a sweep of ``eta_plus``.
-
-    For each ``eta_plus`` the maximal admissible ``eta_minus`` (backed off
-    to keep constraint (C) strict) is used; the row records ``tau``,
-    ``Delta``, ``gamma``, ``Delta_0_tilde`` and the regime boundaries.
-    """
+    """Tabulate the Lemma 5/6/8 quantities over a sweep of ``eta_plus``."""
     from ..specs import as_pair
 
     pair = as_pair(pair)
@@ -224,3 +322,99 @@ def run_lemma5_sweep(
         row = analysis.summary()
         rows.append({k: float(v) for k, v in row.items()})
     return rows
+
+
+def run_lemma5_sweep(
+    pair: Union[InvolutionPair, dict],
+    eta_plus_values: Sequence[float],
+    *,
+    back_off: float = 1e-3,
+) -> List[Dict[str, float]]:
+    """Tabulate the Lemma 5/6/8 quantities over a sweep of ``eta_plus``.
+
+    For each ``eta_plus`` the maximal admissible ``eta_minus`` (backed off
+    to keep constraint (C) strict) is used; the row records ``tau``,
+    ``Delta``, ``gamma``, ``Delta_0_tilde`` and the regime boundaries.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("lemma5", {...})``; see
+        :func:`run_theorem9`.
+    """
+    params = maybe_spec_params(
+        lambda: {
+            "pair": pair_param(pair),
+            "eta_plus_values": [float(x) for x in eta_plus_values],
+            "back_off": float(back_off),
+        }
+    )
+    if params is not None:
+        return run_via_spec("lemma5", params)
+    return _run_lemma5(pair, eta_plus_values, back_off=back_off)
+
+
+# --------------------------------------------------------------------------- #
+# Registered experiment kinds
+# --------------------------------------------------------------------------- #
+
+
+def _theorem9_experiment(params: dict, context) -> ExperimentOutcome:
+    result, traces = _run_theorem9(
+        params["pair"],
+        params["eta"],
+        eta_plus=params["eta_plus"],
+        pulse_lengths=params["pulse_lengths"],
+        adversaries=params["adversaries"],
+        end_time=params["end_time"],
+        max_events=params["max_events"],
+        backend=context.backend,
+        max_workers=context.max_workers,
+        record_traces=bool(params["record_traces"]),
+    )
+    return ExperimentOutcome(
+        rows=result.rows(),
+        summary=dict(result.analysis_summary),
+        traces=traces,
+        raw=result,
+    )
+
+
+def _lemma5_experiment(params: dict, context) -> ExperimentOutcome:
+    rows = _run_lemma5(
+        params["pair"], params["eta_plus_values"], back_off=params["back_off"]
+    )
+    return ExperimentOutcome(rows=rows, raw=rows)
+
+
+register_experiment_kind(
+    "theorem9",
+    _theorem9_experiment,
+    description=(
+        "Storage-loop regime sweep (Theorem 9): simulate the fed-back OR "
+        "across pulse lengths and adversaries, checking each run against "
+        "the analytical regime classification"
+    ),
+    defaults={
+        "pair": _DEFAULT_PAIR,
+        "eta": None,
+        "eta_plus": 0.05,
+        "pulse_lengths": None,
+        "adversaries": None,
+        "end_time": 400.0,
+        "max_events": 2_000_000,
+        "record_traces": False,
+    },
+)
+
+register_experiment_kind(
+    "lemma5",
+    _lemma5_experiment,
+    description=(
+        "Fixed-point quantities (Lemma 5/6/8): tabulate tau, Delta, gamma "
+        "and the regime boundaries over an eta_plus sweep"
+    ),
+    defaults={
+        "pair": _DEFAULT_PAIR,
+        "eta_plus_values": [0.0, 0.02, 0.05, 0.1],
+        "back_off": 1e-3,
+    },
+)

@@ -170,7 +170,7 @@ def compute_deviations(
     return DeviationAnalysis(samples=deviations, eta=eta, label=label)
 
 
-def simulated_eta_coverage(
+def _simulated_eta_coverage(
     pair: InvolutionPair,
     eta: EtaBound,
     *,
@@ -207,6 +207,8 @@ def simulated_eta_coverage(
     differ, possible for shifts near the cancellation boundary) are skipped
     for that run.
     """
+    from typing import Mapping
+
     from ..circuits.library import inverter_chain
     from ..core.adversary import ZeroAdversary
     from ..core.eta_channel import EtaInvolutionChannel
@@ -216,6 +218,10 @@ def simulated_eta_coverage(
     from ..specs import as_eta, as_pair
 
     pair, eta = as_pair(pair), as_eta(eta)
+    if isinstance(stimulus, Mapping):
+        from ..io.netlist import signal_from_dict
+
+        stimulus = signal_from_dict(stimulus)
     circuit = inverter_chain(
         stages, lambda: EtaInvolutionChannel(pair, eta, ZeroAdversary())
     )
@@ -263,3 +269,115 @@ def simulated_eta_coverage(
                     )
                 )
     return DeviationAnalysis(samples=samples, eta=eta, label=label)
+
+
+def simulated_eta_coverage(
+    pair: InvolutionPair,
+    eta: EtaBound,
+    *,
+    stages: int = 3,
+    n_runs: int = 50,
+    seed: int = 2018,
+    stimulus=None,
+    end_time: Optional[float] = None,
+    max_workers: Optional[int] = None,
+    backend: str = "thread",
+    label: str = "eta-monte-carlo",
+) -> DeviationAnalysis:
+    """Monte Carlo coverage check on the event-driven engine.
+
+    See :func:`_simulated_eta_coverage` for the methodology.
+
+    .. deprecated::
+        Prefer ``repro.api.experiment("eta_coverage", {...})``; this
+        wrapper routes speccable arguments through the canonical
+        registered-experiment path (provenance, caching) and only falls
+        back to a direct call for unspeccable pairs or stimuli.
+    """
+    from ..experiments.base import (
+        eta_param,
+        maybe_spec_params,
+        pair_param,
+        run_via_spec,
+        signal_param,
+    )
+
+    params = maybe_spec_params(
+        lambda: {
+            "pair": pair_param(pair),
+            "eta": eta_param(eta),
+            "stages": int(stages),
+            "n_runs": int(n_runs),
+            "seed": int(seed),
+            "stimulus": signal_param(stimulus),
+            "end_time": None if end_time is None else float(end_time),
+            "label": str(label),
+        }
+    )
+    if params is not None:
+        return run_via_spec(
+            "eta_coverage", params, backend=backend, max_workers=max_workers
+        )
+    return _simulated_eta_coverage(
+        pair,
+        eta,
+        stages=stages,
+        n_runs=n_runs,
+        seed=seed,
+        stimulus=stimulus,
+        end_time=end_time,
+        max_workers=max_workers,
+        backend=backend,
+        label=label,
+    )
+
+
+def _eta_coverage_experiment(params: dict, context):
+    """Registered runner for the ``eta_coverage`` experiment kind."""
+    from ..experiments.base import ExperimentOutcome
+
+    analysis = _simulated_eta_coverage(
+        params["pair"],
+        params["eta"],
+        stages=params["stages"],
+        n_runs=params["n_runs"],
+        seed=params["seed"],
+        stimulus=params["stimulus"],
+        end_time=params["end_time"],
+        backend=context.backend,
+        max_workers=context.max_workers,
+        label=params["label"],
+    )
+    return ExperimentOutcome(
+        rows=[analysis.summary()],
+        summary={"label": analysis.label},
+        raw=analysis,
+    )
+
+
+def _register() -> None:
+    from ..specs import register_experiment_kind
+
+    register_experiment_kind(
+        "eta_coverage",
+        _eta_coverage_experiment,
+        description=(
+            "Monte Carlo eta-coverage self-check: sampled admissible "
+            "adversaries on an eta-involution inverter chain must deviate "
+            "from the deterministic prediction only within the band "
+            "(coverage == 1.0)"
+        ),
+        defaults={
+            "pair": {"kind": "exp", "tau": 1.0, "t_p": 0.5, "v_th": 0.5},
+            "eta": {"eta_plus": 0.05, "eta_minus": 0.05},
+            "stages": 3,
+            "n_runs": 50,
+            "seed": 2018,
+            "stimulus": None,
+            "end_time": None,
+            "label": "eta-monte-carlo",
+        },
+    )
+
+
+_register()

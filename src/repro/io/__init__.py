@@ -1,5 +1,6 @@
-"""Trace and netlist import/export (VCD waveforms, JSON netlists)."""
+"""Trace/netlist/result import and export (VCD, JSON netlists, CSV)."""
 
+from .export import EXPORT_FORMATS, export_result, result_to_csv, result_to_vcd
 from .netlist import (
     Netlist,
     load_netlist,
@@ -22,4 +23,8 @@ __all__ = [
     "netlist_from_dict",
     "signal_to_dict",
     "signal_from_dict",
+    "EXPORT_FORMATS",
+    "export_result",
+    "result_to_csv",
+    "result_to_vcd",
 ]

@@ -1,0 +1,85 @@
+"""Exporters for experiment results: JSON, CSV, and VCD.
+
+The ``repro experiment export`` CLI subcommand and
+:meth:`~repro.experiments.base.ExperimentResult` consumers share these:
+
+* JSON -- the canonical result serialisation (spec + rows + provenance),
+* CSV -- just the result rows, for spreadsheets and plotting scripts
+  (list-valued cells are rendered as ``;``-joined items so the file stays
+  one row per experiment row),
+* VCD -- the recorded traces (experiments run with ``record_traces=True``)
+  through :mod:`repro.io.vcd`, viewable in GTKWave next to HDL dumps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+from typing import Optional, Union
+
+from ..specs import SpecError
+
+__all__ = ["EXPORT_FORMATS", "result_to_csv", "result_to_vcd", "export_result"]
+
+EXPORT_FORMATS = ("json", "csv", "vcd")
+
+
+def _csv_cell(value) -> object:
+    if isinstance(value, (list, tuple)):
+        return ";".join(str(v) for v in value)
+    return value
+
+
+def result_to_csv(result) -> str:
+    """Render an :class:`ExperimentResult`'s rows as CSV text."""
+    buffer = _io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(result.columns))
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({key: _csv_cell(value) for key, value in row.items()})
+    return buffer.getvalue()
+
+
+def result_to_vcd(result, **kwargs) -> str:
+    """Render an :class:`ExperimentResult`'s recorded traces as VCD text.
+
+    Raises :class:`~repro.specs.SpecError` when the result carries no
+    traces (most experiments only record them when run with
+    ``record_traces=True``).
+    """
+    from .vcd import signals_to_vcd
+
+    signals = result.signals()
+    if not signals:
+        raise SpecError(
+            f"experiment result for kind {result.spec.kind!r} has no recorded "
+            "traces; rerun it with the 'record_traces' parameter set to true"
+        )
+    kwargs.setdefault("comment", f"repro experiment {result.spec.kind}")
+    return signals_to_vcd(signals, **kwargs)
+
+
+def export_result(
+    result,
+    format: str,
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialise a result in ``format`` (``json``/``csv``/``vcd``).
+
+    Returns the rendered text; additionally writes it to ``path`` when
+    given.
+    """
+    if format == "json":
+        text = result.to_json() + "\n"
+    elif format == "csv":
+        text = result_to_csv(result)
+    elif format == "vcd":
+        text = result_to_vcd(result)
+    else:
+        raise SpecError(
+            f"unknown export format {format!r}; supported: {', '.join(EXPORT_FORMATS)}"
+        )
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -17,7 +17,15 @@ compared and shipped across process boundaries, in contrast to the opaque
 * :class:`CircuitSpec` -- a whole circuit netlist (ordered nodes and edges
   with per-edge channel specs); ``Circuit.to_spec()`` /
   ``Circuit.from_spec()`` round-trip through it, and
-  :mod:`repro.io.netlist` adds the JSON file format.
+  :mod:`repro.io.netlist` adds the JSON file format,
+* :class:`ExperimentSpec` -- one of the paper's experiments (``theorem9``,
+  ``lemma5``, ``fig7``, ``fig8``, ``fig9``, ``comparison``, ``scaling``,
+  ``eta_coverage``) as a declarative, hashable parameter set; running one
+  (:func:`repro.experiments.run_experiment` /
+  :meth:`ExperimentSpec.run`) yields a provenance-carrying
+  :class:`~repro.experiments.base.ExperimentResult` that the
+  content-addressed artifact store (:mod:`repro.store`) caches by spec
+  hash.
 
 Node and edge *order* is part of a circuit spec: the engine's event-id tie
 breaking follows insertion order, so preserving it is what makes a rebuilt
@@ -26,8 +34,9 @@ circuit execute bit-identically -- the property the process sweep backend
 instead of pickled circuit objects.
 
 Every registry has an extension hook (:func:`register_channel_kind`,
-:func:`register_delay_kind`, :func:`register_adversary_kind`) so
-user-defined subclasses can participate in spec round-trips.
+:func:`register_delay_kind`, :func:`register_adversary_kind`,
+:func:`register_experiment_kind`) so user-defined subclasses and
+experiments can participate in spec round-trips.
 
 The :func:`as_circuit` / :func:`as_channel` / :func:`as_channel_factory` /
 :func:`as_pair` / :func:`as_eta` / :func:`as_adversary` coercion helpers
@@ -77,9 +86,14 @@ __all__ = [
     "AdversarySpec",
     "ChannelSpec",
     "CircuitSpec",
+    "ExperimentSpec",
+    "ExperimentKind",
     "register_delay_kind",
     "register_adversary_kind",
     "register_channel_kind",
+    "register_experiment_kind",
+    "experiment_kinds",
+    "get_experiment_kind",
     "pair_to_dict",
     "pair_from_dict",
     "eta_to_dict",
@@ -993,3 +1007,159 @@ def as_adversary_factory(obj) -> Callable[[], Adversary]:
     if callable(obj):
         return obj
     raise SpecError(f"cannot interpret {type(obj).__name__} as an adversary factory")
+
+
+# --------------------------------------------------------------------------- #
+# Experiments
+# --------------------------------------------------------------------------- #
+# The experiments registry mirrors the channel/delay/adversary registries,
+# but the registered object is richer: a runner callable plus a description
+# and the kind's default parameters.  The built-in kinds live in
+# :mod:`repro.experiments` (and :mod:`repro.fitting.eta_coverage`) and
+# register themselves on import; the registry lazily imports them on first
+# lookup so `ExperimentSpec("theorem9").run()` works without the caller
+# importing anything else.
+
+
+class ExperimentKind:
+    """One registered experiment kind: runner + description + defaults.
+
+    ``runner(params, context)`` receives the fully resolved (defaults
+    merged, JSON-canonical) parameter dict plus an
+    :class:`~repro.experiments.base.ExperimentContext` carrying the
+    execution knobs that must *not* influence the produced numbers
+    (backend, worker count), and returns an
+    :class:`~repro.experiments.base.ExperimentOutcome`.
+    """
+
+    __slots__ = ("kind", "runner", "description", "defaults")
+
+    def __init__(
+        self,
+        kind: str,
+        runner: Callable[..., Any],
+        description: str = "",
+        defaults: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.kind = str(kind)
+        self.runner = runner
+        self.description = str(description)
+        self.defaults = _jsonify(dict(defaults or {}))
+
+    def __repr__(self) -> str:
+        return f"ExperimentKind({self.kind!r})"
+
+
+_EXPERIMENT_KINDS: Dict[str, ExperimentKind] = {}
+_BUILTIN_EXPERIMENTS_LOADED = False
+
+
+def register_experiment_kind(
+    kind: str,
+    runner: Callable[..., Any],
+    *,
+    description: str = "",
+    defaults: Optional[Mapping[str, Any]] = None,
+    replace: bool = False,
+) -> None:
+    """Register an experiment kind (the extension hook for user experiments).
+
+    ``defaults`` must be JSON-representable and is the kind's *closed
+    parameter schema*: every parameter the runner accepts must appear in
+    it (use ``None`` as the default of required/optional-without-value
+    parameters), and :meth:`ExperimentSpec.resolved` rejects params
+    outside it.  Defaults are merged under the spec's explicit params, so
+    two specs differing only in spelled-out defaults hash -- and therefore
+    cache -- identically.
+    """
+    if kind in _EXPERIMENT_KINDS and not replace:
+        raise SpecError(f"experiment kind {kind!r} is already registered")
+    _EXPERIMENT_KINDS[kind] = ExperimentKind(kind, runner, description, defaults)
+
+
+def _load_builtin_experiments() -> None:
+    """Import the modules that register the built-in experiment kinds.
+
+    The loaded flag is only set after a *successful* import: a failed
+    built-in import (broken dependency) must surface again on the next
+    lookup instead of leaving a silently partial registry.
+    """
+    global _BUILTIN_EXPERIMENTS_LOADED
+    if _BUILTIN_EXPERIMENTS_LOADED:
+        return
+    import importlib
+
+    importlib.import_module("repro.experiments")
+    _BUILTIN_EXPERIMENTS_LOADED = True
+
+
+def experiment_kinds() -> List[str]:
+    """Sorted names of all registered experiment kinds."""
+    _load_builtin_experiments()
+    return sorted(_EXPERIMENT_KINDS)
+
+
+def get_experiment_kind(kind: str) -> ExperimentKind:
+    """Look up a registered experiment kind, loading the built-ins if needed."""
+    if kind not in _EXPERIMENT_KINDS:
+        _load_builtin_experiments()
+    try:
+        return _EXPERIMENT_KINDS[kind]
+    except KeyError:
+        raise SpecError(
+            f"unknown experiment kind {kind!r}; registered: "
+            f"{sorted(_EXPERIMENT_KINDS)}"
+        ) from None
+
+
+class ExperimentSpec(Spec):
+    """Declarative description of one experiment run.
+
+    ``kind`` names a registered experiment, ``params`` overrides its
+    defaults; both are JSON values, so an experiment -- like a circuit --
+    can be stored, diffed, hashed and shipped across processes.  The spec
+    hash of the *resolved* form (defaults merged) is the artifact-store
+    cache key (:mod:`repro.store`).
+    """
+
+    def kind_info(self) -> ExperimentKind:
+        """The registered :class:`ExperimentKind` this spec refers to."""
+        return get_experiment_kind(self.kind)
+
+    def resolved(self) -> "ExperimentSpec":
+        """This spec with the kind's defaults merged under its params.
+
+        Unknown parameter names raise :class:`SpecError` (misspelled
+        params silently falling back to defaults would defeat the point of
+        a declarative experiment definition); the kind's ``defaults`` are
+        the closed parameter schema.  Integer spellings of float-typed
+        parameters are promoted (``end_time=200`` and ``end_time=200.0``
+        resolve -- and therefore hash and cache -- identically).
+        """
+        info = self.kind_info()
+        unknown = sorted(set(self.params) - set(info.defaults))
+        if unknown:
+            raise SpecError(
+                f"unknown parameter(s) {unknown} for experiment kind "
+                f"{self.kind!r}; known: {sorted(info.defaults)}"
+            )
+        merged = dict(info.defaults)
+        for name, value in self.params.items():
+            default = info.defaults.get(name)
+            if (
+                isinstance(default, float)
+                and isinstance(value, int)
+                and not isinstance(value, bool)
+            ):
+                value = float(value)
+            merged[name] = value
+        resolved = ExperimentSpec(self.kind, merged)
+        # Plain dict equality would call 200 == 200.0 equal; the canonical
+        # JSON key is what hashing/caching use, so compare that instead.
+        return self if resolved._key == self._key else resolved
+
+    def run(self, **kwargs):
+        """Run this experiment (delegate to :func:`repro.experiments.run_experiment`)."""
+        from .experiments.base import run_experiment
+
+        return run_experiment(self, **kwargs)

@@ -1,0 +1,127 @@
+"""Content-addressed artifact store for experiment results.
+
+Results are keyed by the SHA-256 of their *resolved* experiment spec's
+canonical JSON -- the same canonical form that gives specs value semantics
+-- so a store lookup asks exactly "has this experiment, with these
+parameters, been computed before?".  Execution knobs (backend, worker
+count) are deliberately absent from the key: the sweep runner's determinism
+guarantee makes them result-neutral, so a result computed on the process
+backend is a valid cache hit for a sequential rerun.
+
+Layout mirrors git's object store: ``<root>/<key[:2]>/<key>.json``, one
+canonical-JSON :class:`~repro.experiments.base.ExperimentResult` per file.
+Writes go through a temp file + rename so concurrent sweep workers never
+observe a torn artifact.  ``run(..., cache=...)`` entry points
+(:func:`repro.experiments.run_experiment`, :func:`repro.api.experiment`,
+``repro experiment run --cache``) consult the store before computing,
+which is what makes large experiment sweeps resumable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import List, Union
+
+from .specs import _canonical_key
+
+__all__ = ["ArtifactStore", "as_store"]
+
+
+class ArtifactStore:
+    """A directory of experiment results addressed by spec hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+
+    # -- keys -------------------------------------------------------------- #
+
+    @staticmethod
+    def key_for(spec) -> str:
+        """Content hash of a spec (or spec dict): SHA-256 of canonical JSON.
+
+        :class:`~repro.specs.ExperimentSpec` instances should be resolved
+        (defaults merged) before keying so spelled-out defaults and omitted
+        ones address the same artifact; :func:`repro.experiments.run_experiment`
+        does that resolution for every caller.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        # The exact canonical form that gives specs their value semantics.
+        text = _canonical_key(payload)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def path_for(self, spec) -> Path:
+        """Where the artifact for ``spec`` lives (whether or not it exists)."""
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- access ------------------------------------------------------------ #
+
+    def get(self, spec):
+        """The stored :class:`ExperimentResult` for ``spec``, or ``None``.
+
+        A stored file that cannot be parsed (truncated write, newer result
+        version) or whose embedded spec does not match the requested one
+        (hand-edited artifact, hash collision) is treated as a miss rather
+        than returned wrongly -- a damaged artifact must never break the
+        resumability it exists to provide; ``put`` overwrites it.
+        """
+        from .experiments.base import ExperimentResult
+
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            result = ExperimentResult.from_json(path.read_text())
+        except (OSError, ValueError):
+            # ValueError covers both json.JSONDecodeError and SpecError.
+            return None
+        requested = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        if result.spec.to_dict() != requested:
+            return None
+        return result
+
+    def put(self, result) -> Path:
+        """Store a result under its spec's key; returns the artifact path."""
+        path = self.path_for(result.spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(result.to_json() + "\n")
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, spec) -> bool:
+        """True iff :meth:`get` would return a result (not mere file existence)."""
+        return self.get(spec) is not None
+
+    # -- maintenance ------------------------------------------------------- #
+
+    def paths(self) -> List[Path]:
+        """All artifact files currently in the store, sorted."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.paths())
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        for path in self.paths():
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"
+
+
+def as_store(obj) -> ArtifactStore:
+    """Coerce an ArtifactStore or a directory path to an ArtifactStore."""
+    if isinstance(obj, ArtifactStore):
+        return obj
+    if isinstance(obj, (str, Path)):
+        return ArtifactStore(obj)
+    raise TypeError(f"cannot interpret {type(obj).__name__} as an artifact store")

@@ -33,8 +33,29 @@ class TestReporting:
         assert format_value(True) == "yes"
         assert format_value(float("nan")) == "nan"
         assert format_value(float("inf")) == "inf"
-        assert format_value(0.000123456) == "0.0001235"
         assert format_value([1, 2]) == "[1, 2]"
+
+    def test_format_value_scientific_for_extreme_magnitudes(self):
+        # Large/small magnitudes deliberately use scientific notation so
+        # mixed-magnitude columns stay scannable.
+        assert format_value(0.000123456) == "1.235e-04"
+        assert format_value(123456.789) == "1.235e+05"
+        assert format_value(-123456.789) == "-1.235e+05"
+        assert format_value(1e-9) == "1.000e-09"
+
+    def test_format_value_boundaries(self):
+        # Exactly 1e5 and anything below 1e-3 switch to scientific; the
+        # half-open band [1e-3, 1e5) keeps the general format.
+        assert format_value(1e5) == "1.000e+05"
+        assert format_value(99999.0, precision=5) == "99999"
+        assert format_value(1e-3) == "0.001"
+        assert format_value(0.00099999) == "1.000e-03"
+        assert format_value(1.0) == "1"
+        assert format_value(0.0) == "0"
+
+    def test_format_value_precision(self):
+        assert format_value(0.000123456, precision=2) == "1.2e-04"
+        assert format_value(123456.789, precision=6) == "1.23457e+05"
 
     def test_format_table(self):
         rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]

@@ -1,0 +1,411 @@
+"""The declarative experiment surface: registry, results, equivalence.
+
+Pins the ISSUE-4 acceptance criteria:
+
+* every experiment kind runs via ``repro.api.experiment`` and produces
+  numbers bit-identical to the pre-PR direct-call path (the private
+  ``_run_*`` implementations the deprecated wrappers fall back to),
+* :class:`ExperimentResult` round-trips through JSON,
+* identical re-runs hit the artifact store.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    experiment_kinds,
+    get_experiment_kind,
+    register_experiment_kind,
+    run_experiment,
+)
+from repro.specs import SpecError
+
+
+THEOREM9_PARAMS = {
+    "pulse_lengths": [0.3, 0.8, 1.3],
+    "adversaries": {"zero": {"kind": "zero"}, "random": {"kind": "random", "seed": 5}},
+    "end_time": 150.0,
+}
+COMPARISON_PARAMS = {"stages": 2, "pulse_count": 3}
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        assert {
+            "theorem9",
+            "lemma5",
+            "fig7",
+            "fig8",
+            "fig9",
+            "comparison",
+            "scaling",
+            "eta_coverage",
+        } <= set(experiment_kinds())
+
+    def test_descriptions_exposed(self):
+        listing = api.experiments()
+        assert set(listing) == set(experiment_kinds())
+        assert all(description for description in listing.values())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SpecError, match="unknown experiment kind"):
+            run_experiment("not_an_experiment")
+
+    def test_unknown_param_raises(self):
+        with pytest.raises(SpecError, match="unknown parameter"):
+            run_experiment("lemma5", {"eta_plus_valuez": [0.1]})
+
+    def test_duplicate_registration_rejected(self):
+        info = get_experiment_kind("lemma5")
+        with pytest.raises(SpecError, match="already registered"):
+            register_experiment_kind("lemma5", info.runner)
+        # replace=True is the escape hatch (restore the original runner).
+        register_experiment_kind(
+            "lemma5",
+            info.runner,
+            description=info.description,
+            defaults=info.defaults,
+            replace=True,
+        )
+
+    def test_resolved_promotes_int_spellings_of_float_params(self):
+        from repro.store import ArtifactStore
+
+        as_int = ExperimentSpec("comparison", {"end_time": 200}).resolved()
+        as_float = ExperimentSpec("comparison", {"end_time": 200.0}).resolved()
+        assert as_int == as_float
+        assert ArtifactStore.key_for(as_int) == ArtifactStore.key_for(as_float)
+        assert as_int.params["end_time"] == 200.0
+        # Bool params are not "ints" for promotion purposes.
+        assert ExperimentSpec("comparison", {"record_traces": True}).resolved().params[
+            "record_traces"
+        ] is True
+
+    def test_resolved_merges_defaults(self):
+        spec = ExperimentSpec("lemma5", {"eta_plus_values": [0.1]})
+        resolved = spec.resolved()
+        assert resolved.params["eta_plus_values"] == [0.1]
+        assert resolved.params["back_off"] == pytest.approx(1e-3)
+        assert resolved.params["pair"]["kind"] == "exp"
+        # Spelled-out defaults resolve to the same spec (same cache key).
+        explicit = ExperimentSpec("lemma5", dict(resolved.params))
+        assert explicit.resolved() == resolved
+
+
+class TestResults:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("theorem9", THEOREM9_PARAMS)
+
+    def test_rows_and_columns(self, result):
+        assert len(result.rows) == 3 * 2
+        assert result.columns[0] == "delta_0"
+        assert all(list(row) == result.columns for row in result.rows)
+        result.validate()
+
+    def test_provenance(self, result):
+        prov = result.provenance
+        assert prov["spec"] == result.spec.to_dict()
+        assert len(prov["spec_key"]) == 64
+        assert prov["backend"] == "sequential"
+        assert prov["cpu_count"] >= 1
+        assert prov["wall_time_s"] > 0
+        import repro
+
+        assert prov["version"] == repro.__version__
+
+    def test_json_round_trip(self, result):
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone == result
+        assert clone.rows == result.rows
+        assert clone.columns == result.columns
+        assert clone.spec == result.spec
+        clone.validate()
+
+    def test_equality_ignores_provenance(self, result):
+        clone = ExperimentResult.from_json(result.to_json())
+        clone.provenance["wall_time_s"] = 123.0
+        assert clone == result
+
+    def test_raw_is_transient(self, result):
+        assert result.raw is not None
+        assert ExperimentResult.from_json(result.to_json()).raw is None
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "experiment theorem9" in text
+        assert "delta_0" in text
+
+    def test_spec_run_method(self):
+        spec = ExperimentSpec("lemma5", {"eta_plus_values": [0.05]})
+        assert spec.run().rows == run_experiment(spec).rows
+
+    def test_bad_row_schema_rejected(self, result):
+        broken = ExperimentResult.from_json(result.to_json())
+        broken.rows[0] = dict(reversed(list(broken.rows[0].items())))
+        with pytest.raises(SpecError, match="do not match"):
+            broken.validate()
+
+
+class TestTraces:
+    def test_traces_recorded_on_request(self):
+        with_traces = run_experiment(
+            "comparison", dict(COMPARISON_PARAMS, record_traces=True)
+        )
+        assert set(with_traces.traces) == {
+            f"{model}.out"
+            for model in ("pure", "inertial", "ddm", "involution", "eta_involution")
+        }
+        signals = with_traces.signals()
+        assert signals["pure.out"].final_value in (0, 1)
+        # Traces survive the JSON round trip.
+        clone = ExperimentResult.from_json(with_traces.to_json())
+        assert clone.traces == with_traces.traces
+
+    def test_traces_off_by_default(self):
+        assert run_experiment("comparison", COMPARISON_PARAMS).traces is None
+
+
+class TestCaching:
+    def test_cache_roundtrip_and_hit(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = api.experiment("lemma5", {"eta_plus_values": [0.02]}, cache=store_dir)
+        assert not first.from_cache
+        second = api.experiment("lemma5", {"eta_plus_values": [0.02]}, cache=store_dir)
+        assert second.from_cache
+        assert second == first
+        assert second.rows == first.rows
+
+    def test_force_recomputes(self, tmp_path):
+        store_dir = tmp_path / "store"
+        api.experiment("lemma5", {"eta_plus_values": [0.02]}, cache=store_dir)
+        forced = api.experiment(
+            "lemma5", {"eta_plus_values": [0.02]}, cache=store_dir, force=True
+        )
+        assert not forced.from_cache
+
+    def test_default_params_share_cache_entry(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        sparse = api.experiment("lemma5", {"eta_plus_values": [0.02]}, cache=store)
+        explicit = api.experiment(
+            "lemma5",
+            dict(sparse.spec.resolved().params),
+            cache=store,
+        )
+        assert explicit.from_cache
+        assert len(store) == 1
+
+
+class TestEquivalence:
+    """Wrapper entry points vs. the canonical registered-kind path."""
+
+    def test_theorem9(self):
+        from repro.experiments.theorem9 import _run_theorem9, run_theorem9
+        from repro.core import InvolutionPair, ZeroAdversary, RandomAdversary
+
+        pair = InvolutionPair.exp_channel(1.0, 0.5)
+        direct, _ = _run_theorem9(
+            pair,
+            pulse_lengths=np.asarray(THEOREM9_PARAMS["pulse_lengths"]),
+            adversaries={
+                "zero": ZeroAdversary,
+                "random": lambda: RandomAdversary(seed=5),
+            },
+            end_time=150.0,
+        )
+        wrapped = run_theorem9(
+            pair,
+            pulse_lengths=np.asarray(THEOREM9_PARAMS["pulse_lengths"]),
+            adversaries={
+                "zero": ZeroAdversary(),
+                "random": RandomAdversary(seed=5),
+            },
+            end_time=150.0,
+        )
+        via_api = api.experiment("theorem9", THEOREM9_PARAMS)
+        assert wrapped.rows() == direct.rows()
+        assert via_api.rows == direct.rows()
+        assert via_api.raw.analysis_summary == direct.analysis_summary
+
+    def test_lemma5(self):
+        from repro.experiments.theorem9 import _run_lemma5, run_lemma5_sweep
+        from repro.core import InvolutionPair
+
+        pair = InvolutionPair.exp_channel(1.0, 0.5)
+        direct = _run_lemma5(pair, [0.02, 0.05])
+        assert run_lemma5_sweep(pair, [0.02, 0.05]) == direct
+        assert api.experiment("lemma5", {"eta_plus_values": [0.02, 0.05]}).rows == direct
+
+    def test_comparison(self):
+        from repro.experiments.comparison import (
+            _run_model_comparison,
+            run_model_comparison,
+        )
+
+        direct, _ = _run_model_comparison(**COMPARISON_PARAMS)
+        wrapped = run_model_comparison(**COMPARISON_PARAMS)
+        via_api = api.experiment("comparison", COMPARISON_PARAMS)
+        assert wrapped.stage_survivors == direct.stage_survivors
+        assert wrapped.output_transitions == direct.output_transitions
+        assert via_api.rows == direct.rows()
+
+    def test_scaling_deterministic_columns(self):
+        from repro.experiments.scaling import _run_scaling, run_scaling
+
+        config = dict(stage_counts=(2, 3), input_transitions=30)
+        direct = _run_scaling(**config)
+        wrapped = run_scaling(**config)
+        via_api = api.experiment(
+            "scaling", {"stage_counts": [2, 3], "input_transitions": 30}
+        )
+        # seconds/events_per_second are wall clock; events are pinned.
+        assert [s.events for s in wrapped] == [s.events for s in direct]
+        assert [row["events"] for row in via_api.rows] == [s.events for s in direct]
+
+    def test_eta_coverage(self):
+        from repro.core import EtaBound, InvolutionPair
+        from repro.fitting.eta_coverage import (
+            _simulated_eta_coverage,
+            simulated_eta_coverage,
+        )
+
+        pair = InvolutionPair.exp_channel(1.0, 0.5)
+        eta = EtaBound(0.05, 0.05)
+        config = dict(stages=2, n_runs=4, seed=9)
+        direct = _simulated_eta_coverage(pair, eta, **config)
+        wrapped = simulated_eta_coverage(pair, eta, **config)
+        via_api = api.experiment(
+            "eta_coverage",
+            {"eta": {"eta_plus": 0.05, "eta_minus": 0.05}, **config},
+        )
+        assert wrapped.samples == direct.samples
+        assert via_api.rows == [direct.summary()]
+        assert via_api.raw.samples == direct.samples
+
+    def test_fig9(self):
+        from repro.experiments.fig9 import _run_fig9, run_fig9
+
+        config = dict(stages=2, stage_index=1, n_widths=10)
+        direct = _run_fig9(**config)
+        wrapped = run_fig9(**config)
+        via_api = api.experiment(
+            "fig9", {"stages": 2, "stage_index": 1, "n_widths": 10}
+        )
+        assert wrapped.rows() == direct.rows()
+        assert via_api.rows == direct.rows()
+        assert via_api.raw.fit.tau == direct.fit.tau
+
+    def test_fig7(self):
+        from repro.experiments.fig7 import _run_fig7, run_fig7
+
+        config = dict(vdd_levels=(1.0,), stages=2, stage_index=1, n_widths=8)
+        direct = _run_fig7(**config)
+        wrapped = run_fig7(**config)
+        via_api = api.experiment(
+            "fig7",
+            {"vdd_levels": [1.0], "stages": 2, "stage_index": 1, "n_widths": 8},
+        )
+        assert wrapped.rows() == direct.rows()
+        assert via_api.rows == direct.rows()
+        np.testing.assert_array_equal(
+            via_api.raw.curves[1.0].delta, direct.curves[1.0].delta
+        )
+
+    def test_fig8(self):
+        from repro.experiments.fig8 import _run_fig8, run_fig8
+
+        config = dict(
+            scenarios=("width_plus10",), stages=2, stage_index=1, n_widths=8, seed=1
+        )
+        direct = _run_fig8(**config)
+        wrapped = run_fig8(**config)
+        via_api = api.experiment(
+            "fig8",
+            {
+                "scenarios": ["width_plus10"],
+                "stages": 2,
+                "stage_index": 1,
+                "n_widths": 8,
+                "seed": 1,
+            },
+        )
+        assert wrapped.rows() == direct.rows()
+        assert via_api.rows == direct.rows()
+
+
+class TestBackends:
+    """Experiments inherit the sweep runner's backends, result-neutrally."""
+
+    @pytest.mark.parametrize("backend", ["sequential", "thread", "process"])
+    def test_theorem9_backend_equivalence(self, backend):
+        reference = run_experiment("theorem9", THEOREM9_PARAMS)
+        other = run_experiment(
+            "theorem9", THEOREM9_PARAMS, backend=backend, max_workers=2
+        )
+        assert other.rows == reference.rows
+        assert other.provenance["backend"] == backend
+
+    def test_eta_coverage_backend_equivalence(self):
+        params = {"stages": 2, "n_runs": 4, "seed": 9}
+        sequential = run_experiment("eta_coverage", params)
+        threaded = run_experiment(
+            "eta_coverage", params, backend="thread", max_workers=2
+        )
+        assert threaded.rows == sequential.rows
+
+
+class TestWrapperFallback:
+    """Unspeccable live arguments still work through the direct path."""
+
+    def test_theorem9_with_unspeccable_adversary(self):
+        from repro.core import ZeroAdversary
+        from repro.core.adversary import Adversary
+        from repro.experiments import run_theorem9
+        from repro.core import InvolutionPair
+
+        class CustomAdversary(ZeroAdversary):
+            pass
+
+        pair = InvolutionPair.exp_channel(1.0, 0.5)
+        result = run_theorem9(
+            pair,
+            pulse_lengths=[0.3],
+            adversaries={"custom": CustomAdversary},
+            end_time=100.0,
+        )
+        assert len(result.observations) == 1
+
+    def test_comparison_with_closure_factory(self):
+        from repro.core import PureDelayChannel
+        from repro.experiments import run_model_comparison
+
+        class OddChannel(PureDelayChannel):
+            pass
+
+        result = run_model_comparison(
+            stages=2, pulse_count=3, factories={"odd": lambda: OddChannel(1.0)}
+        )
+        assert set(result.stage_survivors) == {"odd"}
+
+
+class TestExtensionHook:
+    def test_user_registered_kind_runs_and_caches(self, tmp_path):
+        from repro.experiments import ExperimentOutcome
+
+        def runner(params, context):
+            return ExperimentOutcome(
+                rows=[{"x": params["x"], "doubled": 2 * params["x"]}]
+            )
+
+        register_experiment_kind(
+            "test_doubler", runner, description="doubles x", defaults={"x": 1},
+            replace=True,
+        )
+        result = api.experiment("test_doubler", {"x": 21}, cache=tmp_path)
+        assert result.rows == [{"x": 21, "doubled": 42}]
+        assert api.experiment("test_doubler", {"x": 21}, cache=tmp_path).from_cache

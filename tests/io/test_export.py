@@ -1,0 +1,62 @@
+"""Unit tests for the experiment-result exporters (JSON/CSV/VCD)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import ExperimentResult, run_experiment
+from repro.io import export_result, result_to_csv, result_to_vcd
+from repro.specs import SpecError
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(
+        "comparison", {"stages": 2, "pulse_count": 3, "record_traces": True}
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        text = result_to_csv(result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(result.rows)
+        assert list(rows[0]) == result.columns
+
+    def test_list_cells_joined(self, result):
+        text = result_to_csv(result)
+        first = next(csv.DictReader(io.StringIO(text)))
+        survivors = first["survivors_per_stage"]
+        assert ";" in survivors or survivors.isdigit()
+
+
+class TestVcd:
+    def test_traces_rendered(self, result):
+        text = result_to_vcd(result)
+        assert text.startswith("$comment repro experiment comparison")
+        assert "$var wire 1" in text
+        assert "pure.out" in text
+
+    def test_without_traces_raises(self):
+        bare = run_experiment("lemma5", {"eta_plus_values": [0.05]})
+        with pytest.raises(SpecError, match="no recorded traces"):
+            result_to_vcd(bare)
+
+
+class TestExportResult:
+    def test_json_round_trips(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        text = export_result(result, "json", path)
+        assert path.read_text() == text
+        assert ExperimentResult.from_json(text) == result
+
+    def test_csv_and_vcd_written(self, result, tmp_path):
+        export_result(result, "csv", tmp_path / "r.csv")
+        export_result(result, "vcd", tmp_path / "r.vcd")
+        assert (tmp_path / "r.csv").read_text().startswith("model,")
+        assert "$enddefinitions" in (tmp_path / "r.vcd").read_text()
+
+    def test_unknown_format_rejected(self, result):
+        with pytest.raises(SpecError, match="unknown export format"):
+            export_result(result, "xlsx")

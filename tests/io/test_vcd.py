@@ -1,12 +1,15 @@
 """Unit tests for VCD export."""
 
 import io
+from pathlib import Path
 
 from repro.circuits import simulate
 from repro.circuits.library import buffer_chain
 from repro.core import PureDelayChannel, Signal
 from repro.io import execution_to_vcd, signals_to_vcd, write_vcd
 from repro.io.vcd import _identifier
+
+GOLDEN = Path(__file__).parent / "golden"
 
 
 class TestIdentifiers:
@@ -50,6 +53,45 @@ class TestSignalsToVcd:
     def test_simultaneous_events_grouped(self):
         text = signals_to_vcd({"a": Signal.step(2.0), "b": Signal.step(2.0)})
         assert text.count("#2") == 1
+
+
+class TestGoldenFile:
+    """Golden-file pin of the full VCD text (identifier rollover + rounding).
+
+    60 signals force the 58-character identifier alphabet past one
+    character (indices 58/59 become ``!!``/``!"``), and the 0.05-spaced
+    step times under ``time_scale_factor=10`` exercise integer-tick
+    rounding including the round-half-to-even cases.
+    """
+
+    def _render(self) -> str:
+        signals = {f"s{k:02d}": Signal.step(0.05 * (k + 1)) for k in range(60)}
+        return signals_to_vcd(
+            signals,
+            timescale="100ps",
+            time_scale_factor=10.0,
+            comment="golden: identifier rollover + tick rounding",
+        )
+
+    def test_matches_golden(self):
+        expected = (GOLDEN / "identifier_rollover.expected.vcd").read_text()
+        assert self._render() == expected
+
+    def test_rollover_identifiers_present(self):
+        text = self._render()
+        assert '$var wire 1 !! s58 $end' in text
+        assert '$var wire 1 !" s59 $end' in text
+        # The rollover identifiers never collide with one-character ones.
+        assert _identifier(58) == "!!"
+        assert _identifier(59) == '!"'
+        assert "!!" not in {_identifier(i) for i in range(58)}
+
+    def test_tick_rounding(self):
+        text = self._render()
+        # s00 steps at t=0.05 -> 0.5 ticks -> rounds half-to-even to #0,
+        # s02 steps at t=0.15 -> 1.5 ticks -> rounds half-to-even to #2.
+        assert "#0\n1!" in text
+        assert "#1\n1\"\n#2" in text
 
 
 class TestExecutionToVcd:

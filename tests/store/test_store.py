@@ -1,0 +1,113 @@
+"""Unit tests for the content-addressed artifact store."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentResult, ExperimentSpec, run_experiment
+from repro.store import ArtifactStore, as_store
+
+
+@pytest.fixture()
+def result():
+    return run_experiment("lemma5", {"eta_plus_values": [0.03]})
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestKeys:
+    def test_key_is_sha256_of_canonical_spec(self, result):
+        key = ArtifactStore.key_for(result.spec)
+        assert len(key) == 64
+        assert key == ArtifactStore.key_for(result.spec.to_dict())
+
+    def test_key_ignores_param_order(self):
+        a = ExperimentSpec("lemma5", {"eta_plus_values": [0.1], "back_off": 1e-3})
+        b = ExperimentSpec("lemma5", {"back_off": 1e-3, "eta_plus_values": [0.1]})
+        assert ArtifactStore.key_for(a) == ArtifactStore.key_for(b)
+
+    def test_key_differs_per_params(self):
+        a = ExperimentSpec("lemma5", {"eta_plus_values": [0.1]})
+        b = ExperimentSpec("lemma5", {"eta_plus_values": [0.2]})
+        assert ArtifactStore.key_for(a) != ArtifactStore.key_for(b)
+
+    def test_layout_is_sharded(self, store, result):
+        path = store.path_for(result.spec)
+        key = ArtifactStore.key_for(result.spec)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+
+class TestPutGet:
+    def test_round_trip(self, store, result):
+        assert store.get(result.spec) is None
+        assert result.spec not in store
+        path = store.put(result)
+        assert path.exists()
+        assert result.spec in store
+        loaded = store.get(result.spec)
+        assert loaded == result
+        loaded.validate()
+
+    def test_stored_file_is_canonical_result_json(self, store, result):
+        path = store.put(result)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-experiment-result"
+        assert ExperimentResult.from_dict(data) == result
+
+    def test_mismatched_embedded_spec_is_a_miss(self, store, result):
+        path = store.put(result)
+        data = json.loads(path.read_text())
+        data["spec"]["eta_plus_values"] = [0.999]
+        path.write_text(json.dumps(data))
+        assert store.get(result.spec) is None
+        assert result.spec not in store  # __contains__ agrees with get()
+
+    def test_corrupt_artifact_is_a_miss_not_a_crash(self, store, result):
+        path = store.put(result)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.get(result.spec) is None
+        assert result.spec not in store
+        # run_experiment recomputes over the damaged entry and repairs it.
+        from repro.experiments import run_experiment
+
+        repaired = run_experiment(result.spec, cache=store)
+        assert not repaired.from_cache
+        assert store.get(result.spec) == result
+
+    def test_newer_result_version_is_a_miss(self, store, result):
+        path = store.put(result)
+        data = json.loads(path.read_text())
+        data["version"] = 999
+        path.write_text(json.dumps(data))
+        assert store.get(result.spec) is None
+
+    def test_paths_len_clear(self, store, result):
+        assert len(store) == 0
+        store.put(result)
+        other = run_experiment("lemma5", {"eta_plus_values": [0.07]})
+        store.put(other)
+        assert len(store) == 2
+        assert store.paths() == sorted(store.paths())
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestCoercion:
+    def test_as_store(self, tmp_path, store):
+        assert as_store(store) is store
+        assert as_store(tmp_path).root == tmp_path
+        assert as_store(str(tmp_path)).root == tmp_path
+        with pytest.raises(TypeError):
+            as_store(42)
+
+    def test_run_experiment_accepts_path_and_store(self, tmp_path, store):
+        first = run_experiment("lemma5", {"eta_plus_values": [0.03]}, cache=store)
+        assert not first.from_cache
+        hit = run_experiment(
+            "lemma5", {"eta_plus_values": [0.03]}, cache=store.root
+        )
+        assert hit.from_cache

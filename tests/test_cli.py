@@ -148,6 +148,130 @@ class TestSweep:
             assert seq["events"] == proc["events"]
 
 
+class TestExperimentCLI:
+    RUN_ARGS = [
+        "experiment", "run", "comparison",
+        "--param", "stages=2", "--param", "pulse_count=3",
+        "--param", "record_traces=true",
+    ]
+
+    def test_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("theorem9", "fig7", "fig8", "fig9", "comparison",
+                     "scaling", "eta_coverage", "lemma5"):
+            assert kind in out
+
+    def test_list_json(self, capsys):
+        assert main(["experiment", "list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert "theorem9" in listing
+
+    def test_run_prints_table_and_provenance(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "experiment comparison" in out
+        assert "provenance:" in out and "cache=miss" in out
+
+    def test_run_json_validates_and_caches(self, tmp_path, capsys):
+        argv = self.RUN_ARGS + ["--cache", str(tmp_path / "store"), "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["from_cache"] is False
+        assert first["result"]["format"] == "repro-experiment-result"
+        from repro.experiments import ExperimentResult
+
+        ExperimentResult.from_dict(first["result"]).validate()
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["from_cache"] is True
+        assert second["result"]["rows"] == first["result"]["rows"]
+        assert Path(second["artifact"]).exists()
+
+    def test_run_param_overrides_merge(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment", "run", "lemma5", "--json",
+                    "--params-json", '{"eta_plus_values": [0.02, 0.05]}',
+                    "--param", "back_off=0.002",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        spec = payload["result"]["spec"]
+        assert spec["eta_plus_values"] == [0.02, 0.05]
+        assert spec["back_off"] == 0.002
+        assert len(payload["result"]["rows"]) == 2
+
+    def test_report_and_export(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        assert main(self.RUN_ARGS + ["-o", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "report", str(out_file)]) == 0
+        report = capsys.readouterr().out
+        assert "experiment comparison" in report and "provenance:" in report
+        # from_cache is run-state, not provenance; report must not claim it.
+        assert "cache=" not in report
+
+        csv_file = tmp_path / "result.csv"
+        vcd_file = tmp_path / "result.vcd"
+        assert main(["experiment", "export", str(out_file),
+                     "--format", "csv", "-o", str(csv_file)]) == 0
+        assert main(["experiment", "export", str(out_file),
+                     "--format", "vcd", "-o", str(vcd_file)]) == 0
+        assert csv_file.read_text().startswith("model,")
+        assert vcd_file.read_text().startswith("$comment")
+
+    def test_export_vcd_without_traces_errors(self, tmp_path, capsys):
+        out_file = tmp_path / "lemma5.json"
+        assert main(["experiment", "run", "lemma5", "-o", str(out_file)]) == 0
+        with pytest.raises(SystemExit, match="no recorded traces"):
+            main(["experiment", "export", str(out_file),
+                  "--format", "vcd", "-o", str(tmp_path / "x.vcd")])
+
+    #: Small-but-real parameterisations: every registered paper experiment
+    #: must be runnable end-to-end from the command line (ISSUE 4).
+    SMALL_PARAMS = {
+        "theorem9": {"pulse_lengths": [0.3, 1.3], "adversaries": {"zero": {"kind": "zero"}}, "end_time": 120.0},
+        "lemma5": {"eta_plus_values": [0.02]},
+        "fig7": {"vdd_levels": [1.0], "stages": 2, "n_widths": 6},
+        "fig8": {"scenarios": ["width_plus10"], "stages": 2, "n_widths": 6},
+        "fig9": {"stages": 2, "n_widths": 8},
+        "comparison": {"stages": 2, "pulse_count": 3},
+        "scaling": {"stage_counts": [2], "input_transitions": 20},
+        "eta_coverage": {"stages": 2, "n_runs": 3},
+    }
+
+    @pytest.mark.parametrize("kind", sorted(SMALL_PARAMS))
+    def test_every_kind_runs_from_the_cli(self, kind, capsys):
+        argv = [
+            "experiment", "run", kind,
+            "--params-json", json.dumps(self.SMALL_PARAMS[kind]), "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.experiments import ExperimentResult
+
+        result = ExperimentResult.from_dict(payload["result"])
+        result.validate()
+        assert result.rows
+        assert result.spec.kind == kind
+
+    def test_unknown_kind_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["experiment", "run", "bogus_kind"])
+
+    def test_unknown_technology_preset_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown technology preset"):
+            main(["experiment", "run", "fig7", "--param", "technology=BOGUS"])
+
+    def test_bad_param_spec_exits(self):
+        with pytest.raises(SystemExit, match="NAME=VALUE"):
+            main(["experiment", "run", "lemma5", "--param", "oops"])
+
+
 class TestPackagedEntryPoints:
     """The CI smoke contract: `python -m repro` works against the examples."""
 
@@ -170,5 +294,5 @@ class TestPackagedEntryPoints:
             check=False,
         )
         assert result.returncode == 0
-        for command in ("info", "simulate", "sweep", "export"):
+        for command in ("info", "simulate", "sweep", "export", "experiment"):
             assert command in result.stdout
