@@ -1,0 +1,113 @@
+"""Generate ``docs/cli.md`` from the live argparse tree.
+
+The CLI reference page is *generated*, never hand-edited: this script
+walks the ``repro`` argument parser (every subcommand, including the
+nested ``experiment`` subcommands), captures each ``--help`` text at a
+fixed 80-column width, and renders one markdown page.  The snapshot
+test ``tests/test_cli_reference.py`` regenerates the page and fails
+when the committed ``docs/cli.md`` drifts from the actual parser -- so
+a CLI change without a matching docs regeneration cannot land.
+
+Usage::
+
+    python scripts/gen_cli_docs.py           # rewrite docs/cli.md
+    python scripts/gen_cli_docs.py --check   # exit 1 if docs/cli.md is stale
+
+argparse help formatting is byte-stable across Python 3.10-3.12 but
+changed in 3.13; the committed page (and the docs-build CI job, pinned
+to 3.11) use the stable range, and the snapshot test skips outside it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "cli.md"
+
+HEADER = """\
+# CLI reference
+
+The package installs a ``repro`` console script, also reachable as
+``python -m repro``.  This page is generated from the live argparse
+tree by ``scripts/gen_cli_docs.py`` and kept in sync by a snapshot
+test -- regenerate it after any CLI change:
+
+```bash
+python scripts/gen_cli_docs.py
+```
+"""
+
+
+def _subcommands(parser: argparse.ArgumentParser):
+    """The {name: subparser} map of a parser (empty when none)."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def _section(title: str, parser: argparse.ArgumentParser, level: int) -> str:
+    heading = "#" * level
+    return f"{heading} `{title}`\n\n```text\n{parser.format_help().rstrip()}\n```\n"
+
+
+def render() -> str:
+    """Render the full CLI reference page as markdown text."""
+    source = str(REPO_ROOT / "src")
+    if source not in sys.path:
+        sys.path.insert(0, source)
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    # argparse wraps help output to the terminal width; pin it (scoped --
+    # the snapshot test calls this inside the pytest process) so the
+    # generated page is identical regardless of where it is built.
+    previous_columns = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = "80"
+    try:
+        parts = [HEADER]
+        parts.append(_section("repro", parser, 2))
+        for name, sub in _subcommands(parser).items():
+            parts.append(_section(f"repro {name}", sub, 2))
+            for nested_name, nested in _subcommands(sub).items():
+                parts.append(_section(f"repro {name} {nested_name}", nested, 3))
+        return "\n".join(parts)
+    finally:
+        if previous_columns is None:
+            del os.environ["COLUMNS"]
+        else:
+            os.environ["COLUMNS"] = previous_columns
+
+
+def main(argv=None) -> int:
+    """Write (or with ``--check`` verify) ``docs/cli.md``."""
+    args = argparse.ArgumentParser(description=__doc__)
+    args.add_argument(
+        "--check",
+        action="store_true",
+        help="do not write; exit 1 when docs/cli.md is out of date",
+    )
+    options = args.parse_args(argv)
+    content = render()
+    if options.check:
+        current = DOC_PATH.read_text() if DOC_PATH.exists() else ""
+        if current != content:
+            print(
+                "docs/cli.md is out of date -- run: python scripts/gen_cli_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/cli.md is up to date")
+        return 0
+    DOC_PATH.parent.mkdir(parents=True, exist_ok=True)
+    DOC_PATH.write_text(content)
+    print(f"wrote {DOC_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

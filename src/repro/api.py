@@ -7,8 +7,9 @@ their declarative specs (:mod:`repro.specs`) interchangeably:
   or netlist file path) into a live :class:`~repro.circuits.circuit.Circuit`,
 * :func:`simulate` -- one event-driven execution,
 * :func:`sweep` -- a batched scenario family through
-  :func:`repro.engine.sweep.run_many` (sequential, thread, or process
-  backend -- specs are what make the process backend shippable),
+  :func:`repro.engine.sweep.run_many` (sequential, thread, process, or
+  vector backend -- specs are what make the process backend shippable,
+  and the vector backend batch-evaluates all scenarios through numpy),
 
 plus :func:`monte_carlo` to assemble the eta Monte Carlo scenario family
 of :func:`repro.engine.sweep.eta_monte_carlo` directly from a spec, and
@@ -123,6 +124,12 @@ def sweep(
     Thin wrapper over :func:`repro.engine.sweep.run_many` that first
     coerces ``spec_or_circuit`` (``CircuitTopology`` instances pass
     through untouched, so prebuilt topologies stay amortised).
+    ``backend`` is one of ``"sequential"``, ``"thread"``, ``"process"``
+    or ``"vector"``; with every stateful channel either seeded or
+    overridden per scenario (the :func:`monte_carlo` families are) all
+    backends produce bit-identical executions, and ``"vector"`` falls
+    back to the sequential path (with a warning and a capability report
+    on the result) when the sweep cannot be vectorized.
     """
     if not isinstance(spec_or_circuit, CircuitTopology):
         spec_or_circuit = build(spec_or_circuit)

@@ -92,8 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--runs", type=int, default=20, help="Monte Carlo runs (default: 20)")
     sweep.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
     sweep.add_argument(
-        "--backend", choices=("sequential", "thread", "process"),
-        default="sequential", help="sweep backend (default: sequential)",
+        "--backend", choices=("sequential", "thread", "process", "vector"),
+        default="sequential", help="sweep backend (default: sequential); "
+        "'vector' batch-evaluates all runs through numpy and falls back "
+        "to sequential (with a warning) when the circuit cannot be vectorized",
     )
     sweep.add_argument(
         "--workers", type=int, default=None,
@@ -144,9 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parameter overrides as one JSON object (merged under --param)",
     )
     erun.add_argument(
-        "--backend", choices=("sequential", "thread", "process"),
+        "--backend", choices=("sequential", "thread", "process", "vector"),
         default="sequential",
-        help="sweep backend for engine-driven experiments (default: sequential)",
+        help="sweep backend for engine-driven experiments (default: "
+        "sequential); 'vector' opts into the numpy batch engine where the "
+        "circuit allows it",
     )
     erun.add_argument(
         "--workers", type=int, default=None,
@@ -333,21 +337,30 @@ def _cmd_sweep(args) -> int:
                 "outputs": outputs,
             }
         )
+    # SweepResult.backend records what actually executed -- a vector
+    # request may have fallen back to the scalar path (with a warning);
+    # the reported envelope must not claim a backend that never ran.
+    executed = result.backend or args.backend
     if args.json:
         payload = {
             "netlist": args.netlist,
             "runs": args.runs,
             "seed": args.seed,
-            "backend": args.backend,
+            "backend": executed,
+            "backend_requested": args.backend,
             "end_time": end_time,
             "total_seconds": result.total_seconds,
             "results": rows,
         }
+        if result.vector_report is not None and not result.vector_report.supported:
+            payload["vector_fallback_reasons"] = list(result.vector_report.reasons)
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(
             f"eta Monte Carlo sweep: {args.runs} runs, seed={args.seed}, "
-            f"backend={args.backend}, end_time={end_time:g}"
+            f"backend={executed}"
+            + (f" (requested {args.backend})" if executed != args.backend else "")
+            + f", end_time={end_time:g}"
         )
         for row in rows:
             outs = "  ".join(

@@ -469,20 +469,46 @@ class TableDelay(DelayFunction):
         right = T > self._Tn
         inner = ~(below | left | right)
         out[below] = -math.inf
+        # The extrapolation tails go through math.log/math.exp element by
+        # element: NumPy's SIMD transcendentals can differ from libm in
+        # the last ulp on some hosts, which would break the exact
+        # scalar-path match this method advertises.  Tails are a small
+        # fraction of any realistic sample grid.
         if np.any(left):
-            out[left] = self._d0 + self._slope_left * self._tau_left * np.log(
-                1.0 + (T[left] - self._T0) / self._tau_left
+            out[left] = np.fromiter(
+                (
+                    self._d0
+                    + self._slope_left
+                    * self._tau_left
+                    * math.log(1.0 + (t - self._T0) / self._tau_left)
+                    for t in T[left].tolist()
+                ),
+                dtype=float,
+                count=int(np.count_nonzero(left)),
             )
         if np.any(right):
-            out[right] = self._delta_inf - self._A * np.exp(
-                -(T[right] - self._Tn) / self._tau_tail
+            out[right] = np.fromiter(
+                (
+                    self._delta_inf
+                    - self._A * math.exp(-(t - self._Tn) / self._tau_tail)
+                    for t in T[right].tolist()
+                ),
+                dtype=float,
+                count=int(np.count_nonzero(right)),
             )
         if np.any(inner):
-            idx = np.searchsorted(self.T_samples, T[inner], side="right") - 1
+            T_inner = T[inner]
+            idx = np.searchsorted(self.T_samples, T_inner, side="right") - 1
+            # T exactly at the largest sample: the scalar path returns the
+            # last sample value directly; interpolating the final segment
+            # instead can differ in the last ulp ((d/b)*b != d).
+            at_last = idx >= len(self._slopes)
             idx = np.clip(idx, 0, len(self._slopes) - 1)
-            out[inner] = self.delta_samples[idx] + self._slopes[idx] * (
-                T[inner] - self.T_samples[idx]
+            values = self.delta_samples[idx] + self._slopes[idx] * (
+                T_inner - self.T_samples[idx]
             )
+            values[at_last] = self._d_list[-1]
+            out[inner] = values
         return out
 
     def delta_inf(self) -> float:

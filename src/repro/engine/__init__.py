@@ -12,9 +12,14 @@ Three layers, each usable on its own:
 * :mod:`repro.engine.sweep` -- the batched sweep runner
   (:func:`run_many`) that amortises validation/topology across whole
   scenario families, with per-run channel overrides, Monte Carlo eta
-  sampling (:func:`eta_monte_carlo`) and sequential/thread/process
+  sampling (:func:`eta_monte_carlo`) and sequential/thread/process/vector
   backends (process workers receive the circuit as declarative
-  :class:`repro.specs.CircuitSpec` JSON, never as a pickle).
+  :class:`repro.specs.CircuitSpec` JSON, never as a pickle),
+* :mod:`repro.engine.vector` -- the NumPy-vectorized batch backend:
+  feed-forward sweeps compiled into dense per-scenario arrays and
+  evaluated for all scenarios simultaneously, bit-identical to the
+  scalar engine, with a capability report
+  (:func:`vector_capability`) for everything it cannot express.
 
 The scheduler and sweep layers are imported lazily (PEP 562) because
 :mod:`repro.core.channel` imports the kernel at module load time; eager
@@ -60,6 +65,13 @@ __all__ = [
     "channel_overrides",
     "eta_monte_carlo",
     "sweep_map",
+    # vector (lazy)
+    "VectorCapability",
+    "VectorUnsupportedError",
+    "VectorProgram",
+    "vector_capability",
+    "compile_sweep",
+    "run_many_vector",
 ]
 
 _SCHEDULER_EXPORTS = {
@@ -80,6 +92,14 @@ _SWEEP_EXPORTS = {
     "eta_monte_carlo",
     "sweep_map",
 }
+_VECTOR_EXPORTS = {
+    "VectorCapability",
+    "VectorUnsupportedError",
+    "VectorProgram",
+    "vector_capability",
+    "compile_sweep",
+    "run_many_vector",
+}
 
 
 def __getattr__(name):
@@ -91,6 +111,10 @@ def __getattr__(name):
         from . import sweep
 
         return getattr(sweep, name)
+    if name in _VECTOR_EXPORTS:
+        from . import vector
+
+        return getattr(vector, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -1,0 +1,1376 @@
+"""NumPy-vectorized batch evaluation backend for fixed-topology sweeps.
+
+The paper's headline experiments (Theorem 9 coverage, the eta-channel
+Monte Carlo fits, Figures 7-9) are batch-shaped: thousands of scenarios
+over *one* circuit, with only channel parameters and stimuli varying.
+The scalar engine pays the full event-loop cost per scenario; this module
+instead compiles the :class:`~repro.engine.scheduler.CircuitTopology`
+once into dense arrays and evaluates **all scenarios simultaneously**:
+
+* per-edge *channel parameter matrices* with one row per scenario
+  (constant delays, rejection windows, adversarial eta shifts),
+* per-gate *dispatch codes*: gate truth tables flattened into dense
+  lookup arrays indexed by packed input-value bits,
+* the tentative/transport-cancellation/maturity semantics of the shared
+  :class:`~repro.engine.kernel.ChannelKernel` re-expressed as masked
+  array operations over a per-scenario pending frontier, processed in
+  lockstep over the transition index.
+
+Bit-identity contract
+---------------------
+``run_many_vector`` is **bit-identical** to ``run_many(backend=
+"sequential")``: same transition lists (times compared as exact float64
+bits), same event counts, same dropped-transition counts, same SPF
+verdicts.  Failing sweeps fail on both backends with the same error when
+the failure is unique; when *several* failures coexist (say an
+inadmissible adversary shift on one edge and a ``max_events`` overrun),
+the scalar engine surfaces whichever its global time order reaches
+first, while this backend -- which evaluates edge by edge -- may surface
+a different one.  Two design rules make the bit identity possible:
+
+1. Pure float arithmetic (add/sub/mul/compare) is IEEE-deterministic and
+   is vectorized freely with the *same operation order* as the scalar
+   kernel.
+2. Transcendental functions are **not** vectorized through NumPy ufuncs:
+   ``np.exp``/``np.log`` use SIMD implementations whose last-ulp rounding
+   differs from ``math.exp``/``math.log`` on some hosts, which would break
+   bit-identity.  Delay functions are therefore evaluated element-wise
+   through the very same ``math``-based scalar code the kernel runs,
+   while everything around them (cancellation, maturity, eta application,
+   gate evaluation) stays vectorized across scenarios.
+
+Capability model
+----------------
+Not every circuit is expressible: the compiler handles acyclic circuits
+(no storage loops -- their fixed-point iteration is inherently
+event-driven) whose channels and adversaries are the library-provided
+classes with mirrored vector semantics.  :func:`vector_capability`
+reports *why* a sweep cannot be compiled; ``run_many(backend="vector")``
+falls back to the scalar path with that report attached rather than
+failing or silently slowing down.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.transitions import Signal, Transition
+from .errors import CausalityError, SimulationError
+from .scheduler import CircuitTopology, Execution, _NODE_GATE, _NODE_OUTPUT
+
+__all__ = [
+    "VectorCapability",
+    "VectorUnsupportedError",
+    "vector_capability",
+    "compile_sweep",
+    "VectorProgram",
+    "run_many_vector",
+]
+
+_INF = math.inf
+_NEG_INF = -math.inf
+
+
+# --------------------------------------------------------------------------- #
+# Capability reporting
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class VectorCapability:
+    """Why a sweep can (or cannot) run on the vector backend.
+
+    ``supported`` is True iff the sweep compiles; ``reasons`` lists every
+    obstacle found (empty when supported).  The report is attached to
+    :class:`~repro.engine.sweep.SweepResult` as ``vector_report`` so a
+    fallback is never silent.
+    """
+
+    supported: bool
+    reasons: Tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.supported
+
+    def summary(self) -> str:
+        """One-line human-readable form of the report."""
+        if self.supported:
+            return "vector backend: supported"
+        return "vector backend unsupported: " + "; ".join(self.reasons)
+
+
+class VectorUnsupportedError(SimulationError):
+    """Raised by :func:`compile_sweep` when a sweep cannot be vectorized.
+
+    Carries the full :class:`VectorCapability` report as ``report``.
+    """
+
+    def __init__(self, report: VectorCapability) -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+# --------------------------------------------------------------------------- #
+# Bit-exact element-wise delay evaluation
+# --------------------------------------------------------------------------- #
+# NumPy's exp/log SIMD loops round differently from libm in the last ulp
+# on some hosts; the evaluators below therefore run the *scalar* math of
+# the channels, element by element, with constants hoisted into closure
+# cells (the same hoisting the scalar channels perform in __init__).
+
+
+def _polarity_fn(delta, inf_limit: float, low: float, mode: str):
+    """One-polarity delay evaluator mirroring the channel's ``delay_for``.
+
+    ``mode`` selects the guard structure: ``"guarded"`` / ``"unguarded"``
+    for :class:`~repro.core.involution_channel.InvolutionChannel` (with
+    and without ``guard_domain``), ``"eta"`` for the eta channel's base
+    value (the adversarial shift is applied afterwards, vectorized,
+    exactly where the scalar code adds it -- on finite base values only).
+
+    For :class:`~repro.core.delay_functions.ExpDelay` the closed form is
+    flattened into one call with its constants in closure cells -- the
+    exact expression (and therefore rounding) of ``ExpDelay.__call__``.
+    Every other delay function goes through its own ``__call__``, which
+    is bit-identical by construction.  The evaluators are pure, so
+    :func:`_compile` caches them per underlying delay-function object.
+    """
+    from ..core.delay_functions import ExpDelay
+
+    exp = math.exp
+    log = math.log
+    if type(delta) is ExpDelay:
+        tau = delta.tau
+        shift = delta._shift
+        offset = delta._offset
+        inv_tau = delta._inv_tau
+        if mode == "unguarded":
+
+            def fn(T: float) -> float:
+                if T == _INF:
+                    return inf_limit
+                argument = 1.0 - exp(-(T + shift) * inv_tau)
+                if argument <= 0.0:
+                    return _NEG_INF
+                return tau * log(argument) + offset
+
+        else:
+            # "guarded" and "eta" share one shape: ExpDelay is -inf on the
+            # whole out-of-domain region, so the eta mode's isfinite check
+            # collapses into the same early -inf returns.
+
+            def fn(T: float) -> float:
+                if T == _INF:
+                    return inf_limit
+                if T <= low:
+                    return _NEG_INF
+                argument = 1.0 - exp(-(T + shift) * inv_tau)
+                if argument <= 0.0:
+                    return _NEG_INF
+                return tau * log(argument) + offset
+
+        return fn
+
+    isfinite = math.isfinite
+    if mode == "unguarded":
+
+        def fn(T: float) -> float:
+            if T == _INF:
+                return inf_limit
+            return delta(T)
+
+    elif mode == "guarded":
+
+        def fn(T: float) -> float:
+            if T == _INF:
+                return inf_limit
+            if T <= low:
+                return _NEG_INF
+            return delta(T)
+
+    else:
+
+        def fn(T: float) -> float:
+            if T == _INF:
+                return inf_limit
+            if T <= low:
+                return _NEG_INF
+            value = delta(T)
+            if not isfinite(value):
+                return _NEG_INF
+            return value
+
+    return fn
+
+
+def _degradation_fn(channel):
+    """Mirror of ``DegradationDelayChannel.delay_for``."""
+    nominal = channel.delta_nominal
+    tau_deg = channel.tau_deg
+    T0 = channel.T0
+    isinf = math.isinf
+    exp = math.exp
+
+    def fn(T: float) -> float:
+        if isinf(T) and T > 0:
+            return nominal
+        if T <= T0:
+            return 0.0
+        return nominal * (1.0 - exp(-(T - T0) / tau_deg))
+
+    return fn
+
+
+# --------------------------------------------------------------------------- #
+# Adversary eta matrices
+# --------------------------------------------------------------------------- #
+# Every supported adversary ignores the previous-output-to-input delay T,
+# so its whole shift sequence is a function of (index, time, polarity)
+# alone and can be materialised per scenario before the lockstep runs --
+# one row of the per-edge eta matrix.  RandomAdversary draws are taken as
+# one array call, which consumes the generator's stream exactly like the
+# scalar per-transition draws do.
+
+
+def _eta_builder(channel, where: str, reasons: List[str]):
+    """Build ``(times, rising) -> shifts`` for one eta channel, or record why not."""
+    from ..core.adversary import (
+        BestCaseAdversary,
+        DeCancelAdversary,
+        RandomAdversary,
+        SequenceAdversary,
+        SineAdversary,
+        WorstCaseAdversary,
+        ZeroAdversary,
+    )
+
+    adversary = channel.adversary
+    bound = channel.eta
+    eta_plus = bound.eta_plus
+    eta_minus = bound.eta_minus
+    kind = type(adversary)
+
+    if kind is ZeroAdversary:
+        return lambda times, rising: np.zeros(len(times))
+    if kind is WorstCaseAdversary:
+        return lambda times, rising: np.where(rising, eta_plus, -eta_minus)
+    if kind in (BestCaseAdversary, DeCancelAdversary):
+        return lambda times, rising: np.where(rising, -eta_minus, eta_plus)
+    if kind is RandomAdversary:
+        seed = adversary._seed
+        if seed is None:
+            reasons.append(
+                f"{where}: RandomAdversary without a seed draws fresh entropy "
+                "per run and cannot be replayed bit-identically"
+            )
+            return None
+        distribution = adversary.distribution
+        sigma = adversary.sigma_fraction * bound.width / 2.0
+
+        def random_draws(times, rising):
+            n = len(times)
+            rng = np.random.default_rng(seed)
+            if distribution == "uniform":
+                return rng.uniform(-eta_minus, eta_plus, size=n)
+            if sigma == 0.0:
+                return np.zeros(n)
+            draws = rng.normal(0.0, sigma, size=n)
+            return np.minimum(np.maximum(draws, -eta_minus), eta_plus)
+
+        return random_draws
+    if kind is SineAdversary:
+        period = adversary.period
+        phase = adversary.phase
+        fraction = adversary.amplitude_fraction
+        clip = bound.clip
+        sin = math.sin
+        two_pi = 2.0 * math.pi
+
+        def sine_shifts(times, rising):
+            out = np.empty(len(times))
+            for i, t in enumerate(times):
+                s = sin(two_pi * t / period + phase)
+                amplitude = eta_plus if s >= 0 else eta_minus
+                out[i] = clip(fraction * amplitude * s)
+            return out
+
+        return sine_shifts
+    if kind is SequenceAdversary:
+        shifts = adversary.shifts
+        fill = adversary.fill
+        clip_values = adversary.clip_values
+        clip = bound.clip
+        contains = bound.contains
+
+        def sequence_shifts(times, rising):
+            out = np.empty(len(times))
+            for i in range(len(times)):
+                eta = shifts[i] if i < len(shifts) else fill
+                if clip_values:
+                    eta = clip(eta)
+                elif not contains(eta):
+                    raise ValueError(
+                        f"shift {eta} at index {i} is outside the admissible "
+                        f"interval [-{eta_minus}, {eta_plus}]"
+                    )
+                out[i] = eta
+            return out
+
+        return sequence_shifts
+    reasons.append(f"{where}: unsupported adversary {kind.__name__}")
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Per-edge channel programs
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _EdgeProgram:
+    """Compiled vector semantics of one edge across all scenarios."""
+
+    eid: int
+    name: str
+    source_id: int
+    zero_delay: bool
+    inverting: bool
+    #: Same-instant hazard classification of the target (see
+    #: ``_eval_timed_edge``): gates can be double-evaluated within one
+    #: engine batch time, output ports cannot.
+    target_is_gate: bool = False
+    target_multi_input: bool = False
+    #: True when some gate's settle evaluation changes its value at time
+    #: 0 -- a delivery at or before 0 would then interleave with the
+    #: settle transition in an engine-batch-order-specific way.
+    settle_sensitive: bool = False
+    #: Constant-delay fast path: per-scenario (rising, falling) delays.
+    const_up: Optional[np.ndarray] = None
+    const_down: Optional[np.ndarray] = None
+    #: General path: per-scenario scalar delay evaluators per polarity.
+    fns_up: Optional[List[Callable[[float], float]]] = None
+    fns_down: Optional[List[Callable[[float], float]]] = None
+    #: Per-scenario inertial rejection windows.
+    windows: Optional[np.ndarray] = None
+    #: Eta channels: per-scenario shift builders and admissible bounds
+    #: (rows of non-eta scenarios hold None / +-inf).
+    eta_builders: Optional[List[Optional[Callable]]] = None
+    eta_lo: Optional[np.ndarray] = None
+    eta_hi: Optional[np.ndarray] = None
+    eta_bounds: Optional[List[Optional[object]]] = None
+
+
+def _cached_polarity_fn(cache: Dict, delta, inf_limit: float, low: float, mode: str):
+    """Memoized :func:`_polarity_fn` (evaluators are pure; sweeps reuse
+    the same delay-function objects across thousands of scenario
+    channels, e.g. every ``with_adversary`` copy shares its pair)."""
+    key = (id(delta), inf_limit, low, mode)
+    hit = cache.get(key)
+    if hit is not None and hit[0] is delta:
+        return hit[1]
+    fn = _polarity_fn(delta, inf_limit, low, mode)
+    cache[key] = (delta, fn)
+    return fn
+
+
+def _compile_edge(
+    eid: int,
+    ename: str,
+    topo: CircuitTopology,
+    run_channels: List[object],
+    reasons: List[str],
+    fn_cache: Dict,
+) -> Optional[_EdgeProgram]:
+    """Compile one edge's per-scenario channels, or record why it cannot be."""
+    from ..core.baselines import (
+        DegradationDelayChannel,
+        InertialDelayChannel,
+        PureDelayChannel,
+    )
+    from ..core.channel import ZeroDelayChannel
+    from ..core.eta_channel import EtaInvolutionChannel
+    from ..core.involution_channel import InvolutionChannel
+
+    S = len(run_channels)
+    before = len(reasons)
+    kinds = {type(ch) for ch in run_channels}
+    supported = {
+        ZeroDelayChannel,
+        PureDelayChannel,
+        InertialDelayChannel,
+        DegradationDelayChannel,
+        InvolutionChannel,
+        EtaInvolutionChannel,
+    }
+    for kind in sorted(kinds - supported, key=lambda k: k.__name__):
+        reasons.append(f"edge {ename!r}: unsupported channel type {kind.__name__}")
+    if len(reasons) > before:
+        return None
+
+    for channel in run_channels:
+        # Constant channels with a zero polarity delay schedule every
+        # delivery at its own input instant; the engine then opens a
+        # second batch at the same timestamp (double gate evaluation,
+        # glitch feeds) that a levelized evaluation cannot replay.
+        if type(channel) is PureDelayChannel and (
+            channel.rising_delay == 0.0 or channel.falling_delay == 0.0
+        ):
+            reasons.append(
+                f"edge {ename!r}: PureDelayChannel with a zero polarity "
+                "delay schedules same-instant deliveries"
+            )
+            return None
+        if type(channel) is InertialDelayChannel and channel.delay == 0.0:
+            reasons.append(
+                f"edge {ename!r}: InertialDelayChannel with zero delay "
+                "schedules same-instant deliveries"
+            )
+            return None
+
+    zero_flags = {type(ch) is ZeroDelayChannel for ch in run_channels}
+    if len(zero_flags) > 1:
+        reasons.append(
+            f"edge {ename!r}: mixes zero-delay and timed channels across scenarios"
+        )
+        return None
+    inverting_flags = {bool(ch.inverting) for ch in run_channels}
+    if len(inverting_flags) > 1:
+        reasons.append(
+            f"edge {ename!r}: channel inverting flag differs across scenarios"
+        )
+        return None
+    inverting = inverting_flags.pop()
+    target_id = topo.edge_target_id[eid]
+    target_is_gate = topo.node_kind[target_id] == _NODE_GATE
+    target_multi_input = (
+        target_is_gate and len(topo.gate_input_edge_ids[target_id]) > 1
+    )
+    if zero_flags.pop():
+        return _EdgeProgram(
+            eid=eid,
+            name=ename,
+            source_id=topo.edge_source_id[eid],
+            zero_delay=True,
+            inverting=inverting,
+            target_is_gate=target_is_gate,
+            target_multi_input=target_multi_input,
+        )
+
+    program = _EdgeProgram(
+        eid=eid,
+        name=ename,
+        source_id=topo.edge_source_id[eid],
+        zero_delay=False,
+        inverting=inverting,
+        target_is_gate=target_is_gate,
+        target_multi_input=target_multi_input,
+        windows=np.zeros(S),
+    )
+    all_const = all(
+        type(ch) in (PureDelayChannel, InertialDelayChannel) for ch in run_channels
+    )
+    if all_const:
+        program.const_up = np.empty(S)
+        program.const_down = np.empty(S)
+    else:
+        program.fns_up = [None] * S
+        program.fns_down = [None] * S
+    has_eta = any(type(ch) is EtaInvolutionChannel for ch in run_channels)
+    if has_eta:
+        program.eta_builders = [None] * S
+        program.eta_lo = np.full(S, _NEG_INF)
+        program.eta_hi = np.full(S, _INF)
+        program.eta_bounds = [None] * S
+
+    for s, channel in enumerate(run_channels):
+        kind = type(channel)
+        program.windows[s] = channel.rejection_window()
+        if kind is PureDelayChannel:
+            up, down = channel.rising_delay, channel.falling_delay
+        elif kind is InertialDelayChannel:
+            up = down = channel.delay
+        elif kind is DegradationDelayChannel:
+            fn = _degradation_fn(channel)
+            program.fns_up[s] = fn
+            program.fns_down[s] = fn
+            continue
+        elif kind is InvolutionChannel:
+            mode = "guarded" if channel.guard_domain else "unguarded"
+            program.fns_up[s] = _cached_polarity_fn(
+                fn_cache, channel._delta_up, channel._up_inf, channel._up_low, mode
+            )
+            program.fns_down[s] = _cached_polarity_fn(
+                fn_cache, channel._delta_down, channel._down_inf,
+                channel._down_low, mode,
+            )
+            continue
+        else:  # EtaInvolutionChannel
+            builder = _eta_builder(channel, f"edge {ename!r}", reasons)
+            if builder is None:
+                return None
+            program.fns_up[s] = _cached_polarity_fn(
+                fn_cache, channel._delta_up, channel._up_inf, channel._up_low, "eta"
+            )
+            program.fns_down[s] = _cached_polarity_fn(
+                fn_cache, channel._delta_down, channel._down_inf,
+                channel._down_low, "eta",
+            )
+            program.eta_builders[s] = builder
+            program.eta_lo[s] = channel._eta_lo
+            program.eta_hi[s] = channel._eta_hi
+            program.eta_bounds[s] = channel.eta
+            continue
+        if all_const:
+            program.const_up[s] = up
+            program.const_down[s] = down
+        else:
+            program.fns_up[s] = lambda T, _up=up: _up
+            program.fns_down[s] = lambda T, _down=down: _down
+    return program
+
+
+# --------------------------------------------------------------------------- #
+# Signal matrices
+# --------------------------------------------------------------------------- #
+# Every node/edge signal of the sweep is held as (times, counts, initial):
+# a float64 [S, N] matrix padded with +inf, a per-scenario transition
+# count, and the (scenario-uniform) initial value.  Values need no
+# storage: well-formed signals alternate, so the value at index n is a
+# pure function of n and the initial value.
+
+
+@dataclass
+class _SignalMatrix:
+    """Padded per-scenario transition-time matrix of one node or edge."""
+
+    times: np.ndarray  # [S, N] float64, +inf padded
+    counts: np.ndarray  # [S] int64
+    initial: int
+
+
+def _empty_matrix(S: int, initial: int) -> _SignalMatrix:
+    return _SignalMatrix(np.empty((S, 0)), np.zeros(S, dtype=np.int64), initial)
+
+
+# --------------------------------------------------------------------------- #
+# The lockstep channel kernel
+# --------------------------------------------------------------------------- #
+
+
+def _eval_timed_edge(
+    program: _EdgeProgram,
+    source: _SignalMatrix,
+    end_times: np.ndarray,
+    on_causality: str,
+) -> Tuple[_SignalMatrix, np.ndarray, np.ndarray]:
+    """Run one edge's channel kernel over all scenarios in lockstep.
+
+    Mirrors ``ChannelKernel.feed``/``mature``/``flush`` (which the
+    equivalence suite pins bit-identical to the event-driven engine):
+    the loop runs over the transition *index*, each step a handful of
+    masked array operations across scenarios.  Returns the delivered
+    signal matrix plus per-scenario DELIVER-event and dropped counts.
+    """
+    times, counts = source.times, source.counts
+    S, N = times.shape
+    out_initial = (1 - source.initial) if program.inverting else source.initial
+    events = np.zeros(S, dtype=np.int64)
+    dropped = np.zeros(S, dtype=np.int64)
+    if N == 0:
+        return _empty_matrix(S, out_initial), events, dropped
+
+    # Output values/polarity by transition index (scenario-uniform).
+    in_values = ((np.arange(N) + 1) & 1) ^ source.initial
+    out_values = (1 - in_values) if program.inverting else in_values
+    rising = out_values == 1
+
+    # Eta matrix: one row of adversarial shifts per scenario.
+    eta_mat = None
+    eta_rows = None
+    if program.eta_builders is not None:
+        eta_mat = np.zeros((S, N))
+        eta_rows = np.zeros(S, dtype=bool)
+        for s, builder in enumerate(program.eta_builders):
+            if builder is None:
+                continue
+            n = int(counts[s])
+            eta_rows[s] = True
+            if n == 0:
+                continue
+            shifts = np.asarray(builder(times[s, :n], rising[:n]), dtype=float)
+            lo, hi = program.eta_lo[s], program.eta_hi[s]
+            if np.any((shifts < lo) | (shifts > hi)):
+                bad = shifts[(shifts < lo) | (shifts > hi)][0]
+                bound = program.eta_bounds[s]
+                raise ValueError(
+                    f"adversary produced inadmissible shift {bad} outside "
+                    f"[-{bound.eta_minus}, {bound.eta_plus}]"
+                )
+            eta_mat[s, :n] = shifts
+
+    # Kernel state, one lane per scenario.
+    last_in = np.full(S, _NEG_INF)
+    last_delay = np.zeros(S)
+    pending_times = np.empty((S, N))
+    pending_values = np.empty((S, N), dtype=np.int8)
+    head = np.zeros(S, dtype=np.int64)
+    top = np.zeros(S, dtype=np.int64)
+    delivered_times = np.full((S, N), _INF)
+    delivered_counts = np.zeros(S, dtype=np.int64)
+    delivered_value = np.full(S, out_initial, dtype=np.int8)
+    last_delivered = np.full(S, _NEG_INF)
+    lanes = np.arange(S)
+    windows = program.windows
+    any_window = bool(np.any(windows > 0.0))
+    const_mode = program.const_up is not None
+
+    def deliver_upto(limit: np.ndarray, mask: np.ndarray) -> None:
+        # The offline counterpart of the event queue: pop the pending
+        # frontier head while it has matured (time <= limit), suppressing
+        # no-change deliveries -- one masked gather/scatter per frontier
+        # depth, which stays tiny for FIFO-ish workloads.
+        while True:
+            rows = lanes[mask & (head < top)]
+            if rows.size == 0:
+                return
+            ready_times = pending_times[rows, head[rows]]
+            ready = ready_times <= limit[rows]
+            rows = rows[ready]
+            if rows.size == 0:
+                return
+            ready_times = ready_times[ready]
+            values = pending_values[rows, head[rows]]
+            head[rows] += 1
+            events[rows] += 1
+            changed = values != delivered_value[rows]
+            rows = rows[changed]
+            if rows.size:
+                stamped = ready_times[changed]
+                delivered_times[rows, delivered_counts[rows]] = stamped
+                delivered_counts[rows] += 1
+                delivered_value[rows] = values[changed]
+                last_delivered[rows] = stamped
+
+    # Uniform sweeps (every scenario sees the same transition count, the
+    # Monte Carlo steady state) take an all-lanes-active fast path that
+    # skips the per-step masking entirely.
+    counts_min = int(counts.min()) if S else 0
+    all_lanes = np.ones(S, dtype=bool)
+    all_rows_list = list(range(S))
+    # One shared evaluator per polarity (the memoized-closure common case
+    # -- every Monte Carlo override reuses the same delay pair) unlocks a
+    # straight map over the row.
+    uniform_up = uniform_down = None
+    if not const_mode:
+        if all(fn is program.fns_up[0] for fn in program.fns_up):
+            uniform_up = program.fns_up[0]
+        if all(fn is program.fns_down[0] for fn in program.fns_down):
+            uniform_down = program.fns_down[0]
+
+    for n in range(N):
+        full = n < counts_min
+        if full:
+            active = all_lanes
+            active_rows = lanes
+        else:
+            active = n < counts
+            active_rows = lanes[active]
+            if active_rows.size == 0:
+                break
+        t = times[:, n]
+        deliver_upto(t, active)
+
+        # -- fused tentative phase (vector mirror of ChannelKernel.feed) --
+        T = t - last_in - last_delay
+        if full and n > 0:
+            pass  # every lane fed at step 0: last_in is finite everywhere
+        elif full:
+            T[last_in == _NEG_INF] = _INF
+        else:
+            T[active & (last_in == _NEG_INF)] = _INF
+        if const_mode:
+            delay = (program.const_up if rising[n] else program.const_down).copy()
+        else:
+            # Inactive lanes keep a harmless 0.0 (never read): garbage or
+            # NaN here would raise invalid-value warnings downstream.
+            # The evaluators run on plain Python floats (tolist), not
+            # NumPy scalars -- same 64-bit values, several times cheaper
+            # through ``math``.
+            T_list = T.tolist()
+            shared = uniform_up if rising[n] else uniform_down
+            if full and shared is not None:
+                delay = np.fromiter(map(shared, T_list), dtype=float, count=S)
+            elif full:
+                fns = program.fns_up if rising[n] else program.fns_down
+                delay = np.array([fns[s](T_list[s]) for s in all_rows_list])
+            else:
+                fns = program.fns_up if rising[n] else program.fns_down
+                delay = np.zeros(S)
+                delay[active_rows] = [
+                    fns[s](T_list[s]) for s in active_rows.tolist()
+                ]
+        if eta_mat is not None:
+            add = eta_rows & np.isfinite(delay)
+            if not full:
+                add &= active
+            if add.any():
+                delay[add] = delay[add] + eta_mat[add, n]
+        if full:
+            np.copyto(last_in, t)
+            np.copyto(last_delay, delay)
+        else:
+            last_in[active_rows] = t[active_rows]
+            last_delay[active_rows] = delay[active_rows]
+        out_time = t + delay
+
+        # -- fused cancellation phase --
+        # Transport cancellation: the cancelled entries are exactly a
+        # suffix of the time-sorted frontier; pop while the top is at or
+        # after the new output time.
+        while True:
+            rows = lanes[(top > head) if full else (active & (top > head))]
+            if rows.size == 0:
+                break
+            pop = pending_times[rows, top[rows] - 1] >= out_time[rows]
+            rows = rows[pop]
+            if rows.size == 0:
+                break
+            top[rows] -= 1
+        # The inertial-window pop fires only on non-empty frontiers, so
+        # applying the isfinite cut first cannot change which tops are
+        # popped (a -inf output time just emptied the frontier above).
+        if full:
+            pushable = np.isfinite(out_time)
+        else:
+            pushable = active & np.isfinite(out_time)
+        if any_window:
+            rows = lanes[active & (windows > 0.0) & (top > head)]
+            if rows.size:
+                reject = (
+                    out_time[rows] - pending_times[rows, top[rows] - 1]
+                    < windows[rows]
+                )
+                rows = rows[reject]
+                top[rows] -= 1
+                pushable[rows] = False
+        causal = pushable & (out_time <= last_delivered)
+        if causal.any():
+            violation = causal & (out_values[n] != delivered_value)
+            if violation.any():
+                if on_causality == "error":
+                    s = int(lanes[violation][0])
+                    raise CausalityError(
+                        f"channel {program.name!r} scheduled an output at "
+                        f"{out_time[s]:g} but already delivered one at "
+                        f"{last_delivered[s]:g}"
+                    )
+                dropped[violation] += 1
+            pushable &= ~causal
+        # Same-instant / time-reversed deliveries: scheduling an output at
+        # (or before) the feeding instant opens additional engine batches
+        # at already-processed timestamps.  That is harmless only for a
+        # strict time reversal (out < t) into a single-input gate or an
+        # output port after the settle instant -- everything else (exact
+        # same-instant gate deliveries, reversals interleaving with other
+        # inputs of a multi-input gate or with a time-0 settle transition)
+        # is engine-batch-order-specific; refuse so run_many falls back.
+        if program.target_is_gate:
+            risky = pushable & (out_time <= t)
+            if risky.any():
+                if program.target_multi_input:
+                    hazard = risky
+                else:
+                    floor = 0.0 if program.settle_sensitive else _NEG_INF
+                    hazard = risky & ~((out_time < t) & (out_time > floor))
+                if hazard.any():
+                    raise VectorUnsupportedError(
+                        VectorCapability(
+                            False,
+                            (
+                                f"edge {program.name!r}: a channel scheduled "
+                                "a same-instant (or earlier) delivery, which "
+                                "the engine resolves with batch ordering the "
+                                "vector backend cannot replay",
+                            ),
+                        )
+                    )
+        rows = lanes[pushable]
+        pending_times[rows, top[rows]] = out_time[rows]
+        pending_values[rows, top[rows]] = out_values[n]
+        top[rows] += 1
+
+    deliver_upto(end_times, np.ones(S, dtype=bool))
+    width = int(delivered_counts.max())
+    return (
+        _SignalMatrix(delivered_times[:, :width], delivered_counts, out_initial),
+        events,
+        dropped,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized gate evaluation
+# --------------------------------------------------------------------------- #
+
+
+def _gate_table_array(gate_type, k: int) -> np.ndarray:
+    """Flatten a gate truth table into a dense dispatch-code lookup array."""
+    table = gate_type.truth_table()
+    array = np.zeros(1 << k, dtype=np.int8)
+    for key, value in table.items():
+        code = 0
+        for bit in key:
+            code = (code << 1) | bit
+        array[code] = value
+    return array
+
+
+def _eval_gate(
+    gate_initial: int,
+    table: np.ndarray,
+    inputs: List[_SignalMatrix],
+    end_times: np.ndarray,
+) -> _SignalMatrix:
+    """Evaluate one gate over all scenarios from its input edge signals.
+
+    Merges the input transition times per scenario (plus the time-0
+    settle evaluation the engine schedules), reads each input's value at
+    every merged time via ``searchsorted`` parity counts, dispatches
+    through the flattened truth table, and keeps exactly the evaluations
+    that change the running output value -- the same evaluations the
+    event loop performs batch by batch.
+    """
+    S = len(end_times)
+    k = len(inputs)
+    if k == 1:
+        src = inputs[0]
+        flips = table[0] != table[1]
+        consistent = table[src.initial] == gate_initial
+        positive = (
+            src.times.shape[1] == 0
+            or bool(np.all(src.times[:, 0] > 0.0))
+        )
+        if flips and consistent and positive:
+            # BUF/INV chains with consistent initial values: the output
+            # transitions at exactly the input times (values implied by
+            # alternation), and the settle pass is a no-op.
+            return _SignalMatrix(src.times, src.counts, gate_initial)
+
+    widths = [m.times.shape[1] for m in inputs]
+    total = 1 + sum(widths)
+    merged = np.full((S, total), _INF)
+    # The settle evaluation at time 0; the engine skips it for horizons
+    # before 0 (the event loop breaks before reaching the settle batch).
+    merged[:, 0] = np.where(end_times >= 0.0, 0.0, _INF)
+    column = 1
+    for matrix in inputs:
+        width = matrix.times.shape[1]
+        if width:
+            merged[:, column : column + width] = matrix.times
+        column += width
+    merged.sort(axis=1)
+    finite = np.isfinite(merged)
+    keep = finite.copy()
+    keep[:, 1:] &= merged[:, 1:] != merged[:, :-1]
+
+    codes = np.zeros((S, total), dtype=np.intp)
+    for matrix in inputs:
+        values = np.empty((S, total), dtype=np.intp)
+        for s in range(S):
+            row = matrix.times[s, : matrix.counts[s]]
+            values[s] = np.searchsorted(row, merged[s], side="right")
+        codes = (codes << 1) | ((values & 1) ^ matrix.initial)
+    out_values = table[codes]
+
+    # Left-pack the kept evaluations, then keep only value changes.
+    order = np.argsort(~keep, axis=1, kind="stable")
+    packed_times = np.take_along_axis(merged, order, axis=1)
+    packed_values = np.take_along_axis(out_values, order, axis=1)
+    kept = keep.sum(axis=1)
+    columns = np.arange(total)
+    previous = np.concatenate(
+        [np.full((S, 1), gate_initial, dtype=packed_values.dtype),
+         packed_values[:, :-1]],
+        axis=1,
+    )
+    change = (packed_values != previous) & (columns[None, :] < kept[:, None])
+    order = np.argsort(~change, axis=1, kind="stable")
+    out_times = np.take_along_axis(packed_times, order, axis=1)
+    out_counts = change.sum(axis=1).astype(np.int64)
+    out_times[columns[None, :] >= out_counts[:, None]] = _INF
+    width = int(out_counts.max()) if S else 0
+    return _SignalMatrix(out_times[:, :width], out_counts, gate_initial)
+
+
+# --------------------------------------------------------------------------- #
+# Compilation
+# --------------------------------------------------------------------------- #
+
+
+def _topological_order(topo: CircuitTopology) -> Optional[List[int]]:
+    """Kahn order over node ids, or ``None`` when the circuit has a cycle."""
+    n_nodes = len(topo.node_names)
+    indegree = [0] * n_nodes
+    for tid in topo.edge_target_id:
+        indegree[tid] += 1
+    ready = [nid for nid in range(n_nodes) if indegree[nid] == 0]
+    order: List[int] = []
+    while ready:
+        nid = ready.pop()
+        order.append(nid)
+        for eid in topo.out_edge_ids[nid]:
+            tid = topo.edge_target_id[eid]
+            indegree[tid] -= 1
+            if indegree[tid] == 0:
+                ready.append(tid)
+    if len(order) != n_nodes:
+        return None
+    return order
+
+
+@dataclass
+class VectorProgram:
+    """A sweep compiled onto the vector backend, ready to execute.
+
+    Produced by :func:`compile_sweep`; :meth:`run` evaluates every
+    scenario simultaneously and returns per-scenario
+    :class:`~repro.engine.sweep.RunResult` objects bit-identical to the
+    scalar sequential backend.
+    """
+
+    topology: CircuitTopology
+    scenarios: Sequence[object]
+    on_causality: str
+    max_events: int
+    report: VectorCapability = field(default_factory=lambda: VectorCapability(True))
+    order: List[int] = field(repr=False, default_factory=list)
+    edge_programs: Dict[int, _EdgeProgram] = field(repr=False, default_factory=dict)
+    port_initials: Dict[str, int] = field(repr=False, default_factory=dict)
+
+    def run(self) -> List[object]:
+        """Execute all scenarios and assemble per-scenario results.
+
+        The cyclic garbage collector is paused for the duration: a large
+        sweep assembles millions of long-lived Transition/Signal objects
+        in one burst, and generational collections scanning that growing
+        heap would otherwise triple the assembly cost.
+        """
+        import gc
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            return self._run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self) -> List[object]:
+        from .sweep import RunResult
+
+        start = _time.perf_counter()
+        topo = self.topology
+        scenarios = list(self.scenarios)
+        S = len(scenarios)
+        end_times = np.array([float(sc.end_time) for sc in scenarios])
+        lanes = np.arange(S)
+
+        # --- input ports: truncate to each scenario's horizon ------------- #
+        node_matrices: Dict[int, _SignalMatrix] = {}
+        port_slices: Dict[str, List[tuple]] = {}
+        event_counts = np.zeros(S, dtype=np.int64)
+        for pid, pname in zip(topo.input_port_ids, topo.input_ports):
+            counts = np.zeros(S, dtype=np.int64)
+            rows = []
+            for s, scenario in enumerate(scenarios):
+                signal = scenario.inputs[pname]
+                transitions = signal.transitions
+                n = len(transitions)
+                while n and transitions[n - 1].time > end_times[s]:
+                    n -= 1
+                counts[s] = n
+                rows.append(transitions[:n])
+            width = int(counts.max())
+            times = np.full((S, width), _INF)
+            for s, row in enumerate(rows):
+                for i, transition in enumerate(row):
+                    times[s, i] = transition.time
+            node_matrices[pid] = _SignalMatrix(
+                times, counts, self.port_initials[pname]
+            )
+            port_slices[pname] = rows
+            event_counts += counts
+
+        if topo.gate_ids:
+            event_counts += (end_times >= 0.0).astype(np.int64)
+
+        # --- levelized evaluation ----------------------------------------- #
+        edge_matrices: Dict[int, _SignalMatrix] = {}
+        dropped_counts = np.zeros(S, dtype=np.int64)
+        for nid in self.order:
+            kind = topo.node_kind[nid]
+            name = topo.node_names[nid]
+            incoming = (
+                topo.gate_input_edge_ids[nid]
+                if kind == _NODE_GATE
+                else tuple(
+                    topo.edge_index[e.name] for e in topo.edges_into[name]
+                )
+            )
+            for eid in incoming:
+                program = self.edge_programs[eid]
+                source = node_matrices[program.source_id]
+                if program.zero_delay:
+                    initial = (
+                        (1 - source.initial) if program.inverting else source.initial
+                    )
+                    edge_matrices[eid] = _SignalMatrix(
+                        source.times, source.counts, initial
+                    )
+                else:
+                    delivered, events, dropped = _eval_timed_edge(
+                        program, source, end_times, self.on_causality
+                    )
+                    edge_matrices[eid] = delivered
+                    event_counts += events
+                    dropped_counts += dropped
+            if kind == _NODE_GATE:
+                gname = name
+                node_matrices[nid] = _eval_gate(
+                    topo.gate_initial_by_node[nid],
+                    _gate_table_array(topo.gate_types[gname], len(incoming)),
+                    [edge_matrices[eid] for eid in incoming],
+                    end_times,
+                )
+            elif kind == _NODE_OUTPUT:
+                node_matrices[nid] = edge_matrices[incoming[0]]
+
+        over = event_counts > self.max_events
+        if over.any():
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; "
+                "the circuit may be oscillating (raise the limit or shorten end_time)"
+            )
+
+        # --- assemble per-scenario executions ----------------------------- #
+        value_patterns: Dict[tuple, List[int]] = {}
+        # Bulk Transition construction: __new__ + object.__setattr__ skips
+        # the frozen-dataclass __init__/__post_init__ layers (the values
+        # are 0/1 by construction); ~30% cheaper over the ~10^6 transitions
+        # a large sweep assembles.
+        transition_new = Transition.__new__
+        set_attr = object.__setattr__
+
+        def row_signal(matrix: _SignalMatrix, s: int) -> Signal:
+            count = int(matrix.counts[s])
+            if count == 0:
+                return Signal._trusted(matrix.initial, ())
+            key = (matrix.initial, count)
+            pattern = value_patterns.get(key)
+            if pattern is None:
+                pattern = [(matrix.initial ^ ((i + 1) & 1)) for i in range(count)]
+                value_patterns[key] = pattern
+            row = matrix.times[s, :count].tolist()
+            transitions = []
+            append = transitions.append
+            for t, v in zip(row, pattern):
+                transition = transition_new(Transition)
+                set_attr(transition, "time", t)
+                set_attr(transition, "value", v)
+                append(transition)
+            return Signal._trusted(matrix.initial, transitions)
+
+        runs: List[object] = []
+        for s, scenario in enumerate(scenarios):
+            node_signals: Dict[str, Signal] = {}
+            for pid, pname in zip(topo.input_port_ids, topo.input_ports):
+                node_signals[pname] = Signal._trusted(
+                    self.port_initials[pname], port_slices[pname][s]
+                )
+            for gid, gname in zip(topo.gate_ids, topo.gate_names):
+                node_signals[gname] = row_signal(node_matrices[gid], s)
+            edge_signals: Dict[str, Signal] = {}
+            for eid, ename in enumerate(topo.edge_names):
+                edge_signals[ename] = row_signal(edge_matrices[eid], s)
+            for oname in topo.output_ports:
+                node_signals[oname] = edge_signals[topo.output_driver[oname].name]
+            output_signals = {
+                oname: node_signals[oname] for oname in topo.output_ports
+            }
+            runs.append(
+                RunResult(
+                    scenario=scenario,
+                    execution=Execution(
+                        circuit=topo.circuit,
+                        node_signals=node_signals,
+                        edge_signals=edge_signals,
+                        output_signals=output_signals,
+                        end_time=scenario.end_time,
+                        event_count=int(event_counts[s]),
+                        dropped_transitions=int(dropped_counts[s]),
+                    ),
+                    seconds=0.0,
+                )
+            )
+        elapsed = _time.perf_counter() - start
+        per_run_seconds = elapsed / max(1, S)
+        for run in runs:
+            run.seconds = per_run_seconds
+        return runs
+
+
+def compile_sweep(
+    topology,
+    scenarios: Sequence[object],
+    *,
+    on_causality: str = "error",
+    max_events: int = 1_000_000,
+) -> VectorProgram:
+    """Compile a sweep onto the vector backend.
+
+    Raises :class:`VectorUnsupportedError` (carrying the full
+    :class:`VectorCapability` report) when the circuit or any scenario's
+    channels cannot be expressed; use :func:`vector_capability` for a
+    non-raising probe.
+    """
+    if on_causality not in ("error", "drop"):
+        raise ValueError("on_causality must be 'error' or 'drop'")
+    topo = (
+        topology
+        if isinstance(topology, CircuitTopology)
+        else CircuitTopology(topology)
+    )
+    report, program = _compile(topo, scenarios, on_causality, int(max_events))
+    if program is None:
+        raise VectorUnsupportedError(report)
+    return program
+
+
+def vector_capability(topology, scenarios: Sequence[object]) -> VectorCapability:
+    """Probe whether a sweep can run on the vector backend, without raising.
+
+    Returns a :class:`VectorCapability` whose ``reasons`` list every
+    obstacle found (unsupported channel or adversary types, feedback
+    cycles, zero-delay edges into multi-input gates, scenario-dependent
+    structure); an empty list means :func:`compile_sweep` will succeed.
+    Sweeps that are invalid for *every* backend (missing or unknown input
+    ports, overrides for unknown edges -- the checks ``Engine.run`` would
+    fail too) are reported as unsupported with an ``invalid sweep:``
+    reason instead of raising.
+    """
+    topo = (
+        topology
+        if isinstance(topology, CircuitTopology)
+        else CircuitTopology(topology)
+    )
+    try:
+        report, _ = _compile(topo, scenarios, "error", 1_000_000)
+    except SimulationError as exc:
+        return VectorCapability(False, (f"invalid sweep: {exc}",))
+    return report
+
+
+def _compile(
+    topo: CircuitTopology,
+    scenarios: Sequence[object],
+    on_causality: str,
+    max_events: int,
+) -> Tuple[VectorCapability, Optional[VectorProgram]]:
+    """Check capability and (when supported) build the compiled program."""
+    reasons: List[str] = []
+    scenarios = list(scenarios)
+    if not scenarios:
+        reasons.append("no scenarios to compile")
+        return VectorCapability(False, tuple(reasons)), None
+
+    # --- scenario validation (mirrors Engine.run's checks) ---------------- #
+    input_ports = topo.input_port_set
+    for scenario in scenarios:
+        missing = input_ports - set(scenario.inputs)
+        if missing:
+            raise SimulationError(
+                f"missing input signals for ports {sorted(missing)}"
+            )
+        unknown = set(scenario.inputs) - input_ports
+        if unknown:
+            raise SimulationError(
+                f"signals given for unknown ports {sorted(unknown)}"
+            )
+        if scenario.channels:
+            unknown_edges = set(scenario.channels) - set(topo.edges)
+            if unknown_edges:
+                raise SimulationError(
+                    f"channel overrides for unknown edges {sorted(unknown_edges)}"
+                )
+
+    # --- scenario-uniform initial values ---------------------------------- #
+    port_initials: Dict[str, int] = {}
+    for pname in topo.input_ports:
+        initials = {sc.inputs[pname].initial_value for sc in scenarios}
+        if len(initials) > 1:
+            reasons.append(
+                f"input port {pname!r}: initial value differs across scenarios"
+            )
+        else:
+            port_initials[pname] = initials.pop()
+
+    # --- structure --------------------------------------------------------- #
+    order = _topological_order(topo)
+    if order is None:
+        reasons.append(
+            "circuit has a feedback cycle (storage loops need the "
+            "event-driven engine)"
+        )
+
+    # --- per-edge channel programs ----------------------------------------- #
+    from ..core.adversary import RandomAdversary
+    from ..core.eta_channel import EtaInvolutionChannel
+
+    edge_programs: Dict[int, _EdgeProgram] = {}
+    fn_cache: Dict = {}
+    # One RandomAdversary *instance* shared by several edges of the same
+    # run interleaves a single RNG stream across those edges in event
+    # order in the scalar engine -- a coupling the per-edge eta matrices
+    # cannot replay.  Detect sharing per scenario and refuse.
+    seen_random: Dict[Tuple[int, int], str] = {}
+    shared_reported: set = set()
+    for eid, ename in enumerate(topo.edge_names):
+        edge = topo.edge_list[eid]
+        run_channels = [
+            (scenario.channels or {}).get(ename, edge.channel)
+            for scenario in scenarios
+        ]
+        for s, channel in enumerate(run_channels):
+            if (
+                type(channel) is EtaInvolutionChannel
+                and type(channel.adversary) is RandomAdversary
+            ):
+                key = (s, id(channel.adversary))
+                first = seen_random.get(key)
+                if first is None:
+                    seen_random[key] = ename
+                elif key not in shared_reported:
+                    shared_reported.add(key)
+                    reasons.append(
+                        f"scenario {scenarios[s].name!r}: one RandomAdversary "
+                        f"instance is shared by edges {first!r} and {ename!r} "
+                        "(the scalar engine interleaves a single RNG stream "
+                        "across sharing edges)"
+                    )
+        program = _compile_edge(eid, ename, topo, run_channels, reasons, fn_cache)
+        if program is not None:
+            edge_programs[eid] = program
+
+    # --- settle consistency ------------------------------------------------ #
+    # The engine's time-0 settle pass evaluates every gate against the
+    # channel-output initial values derived from *declared* node initial
+    # values; gates whose declared initial disagrees flip at time 0.
+    # Those flips mark edges as settle-sensitive (a delivery at or before
+    # time 0 would interleave with them) and, through zero-delay edges,
+    # can glitch downstream gates within the settle instant.
+    def _declared_initial(nid: int) -> Optional[int]:
+        if topo.node_kind[nid] == _NODE_GATE:
+            return topo.gate_initial_by_node[nid]
+        return port_initials.get(topo.node_names[nid])
+
+    settle_inconsistent: set = set()
+    for gid in topo.gate_ids:
+        out_inits = []
+        for in_eid in topo.gate_input_edge_ids[gid]:
+            program = edge_programs.get(in_eid)
+            if program is None:
+                break
+            src_initial = _declared_initial(program.source_id)
+            if src_initial is None:
+                break
+            out_inits.append(
+                (1 - src_initial) if program.inverting else src_initial
+            )
+        else:
+            gname = topo.node_names[gid]
+            settled = topo.gate_types[gname].evaluate(tuple(out_inits))
+            if settled != topo.gate_initial_by_node[gid]:
+                settle_inconsistent.add(gid)
+    for program in edge_programs.values():
+        if program.target_is_gate:
+            tid = topo.edge_target_id[program.eid]
+            program.settle_sensitive = tid in settle_inconsistent
+
+    # --- zero-delay edges into gates --------------------------------------- #
+    # The engine's delta cycles can evaluate a zero-delay-fed gate twice
+    # in the same instant (settle + immediate delivery), feeding a glitch
+    # into downstream kernels that a levelized evaluation cannot see.
+    # Restrict to the provably single-evaluation cases: single-input
+    # targets, no settle flips anywhere (a flip propagates through
+    # zero-delay edges within the settle instant), and strictly positive
+    # stimulus times.
+    min_input_time = _INF
+    for scenario in scenarios:
+        for signal in scenario.inputs.values():
+            if len(signal.transitions):
+                min_input_time = min(min_input_time, signal.transitions[0].time)
+    for eid, program in edge_programs.items():
+        if not program.zero_delay or not program.target_is_gate:
+            continue
+        ename = topo.edge_names[eid]
+        gname = topo.node_names[topo.edge_target_id[eid]]
+        if program.target_multi_input:
+            reasons.append(
+                f"zero-delay edge {ename!r} drives multi-input gate {gname!r} "
+                "(same-instant delta-cycle ordering is engine-specific)"
+            )
+            continue
+        if settle_inconsistent:
+            names = sorted(topo.node_names[gid] for gid in settle_inconsistent)
+            reasons.append(
+                f"zero-delay edge {ename!r} into gate {gname!r} while gates "
+                f"{names} flip in the time-0 settle pass (same-instant "
+                "settle glitches are engine-specific)"
+            )
+            continue
+        if min_input_time <= 0.0:
+            reasons.append(
+                f"zero-delay edge {ename!r} into gate {gname!r} with stimuli "
+                "at time <= 0 (same-instant settle ordering is "
+                "engine-specific)"
+            )
+
+    if reasons:
+        return VectorCapability(False, tuple(reasons)), None
+    program = VectorProgram(
+        topology=topo,
+        scenarios=scenarios,
+        on_causality=on_causality,
+        max_events=max_events,
+        order=order,
+        edge_programs=edge_programs,
+        port_initials=port_initials,
+    )
+    return VectorCapability(True), program
+
+
+def run_many_vector(
+    topology,
+    scenarios: Sequence[object],
+    *,
+    on_causality: str = "error",
+    max_events: int = 1_000_000,
+) -> List[object]:
+    """Compile and run a sweep on the vector backend in one call.
+
+    Returns the per-scenario :class:`~repro.engine.sweep.RunResult` list;
+    raises :class:`VectorUnsupportedError` when the sweep cannot be
+    compiled -- or when execution discovers a same-instant delivery whose
+    engine batch ordering cannot be replayed (callers wanting automatic
+    fallback should use :func:`repro.engine.sweep.run_many` with
+    ``backend="vector"``).
+    """
+    program = compile_sweep(
+        topology, scenarios, on_causality=on_causality, max_events=max_events
+    )
+    return program.run()

@@ -59,10 +59,22 @@ class ExperimentContext:
     :func:`repro.engine.sweep.sweep_map` (analog characterisation sweeps);
     the sweep runner's determinism guarantee is what makes them
     result-neutral, so the artifact store can key on the spec alone.
+    ``backend="vector"`` opts engine-driven kinds (``theorem9``,
+    ``scaling``, ``eta_coverage``, ...) into the NumPy batch engine of
+    :mod:`repro.engine.vector`, which falls back to the scalar path --
+    with a warning -- for circuits it cannot express (e.g. the
+    ``theorem9`` storage loop's feedback cycle).
+
+    ``observed`` is the runners' reporting channel back to provenance:
+    kinds that execute sweeps record the backend that *actually* ran
+    under ``"backend_executed"`` (a vector request may have fallen back),
+    so cached artifacts never claim an execution strategy that never
+    happened.
     """
 
     backend: str = "sequential"
     max_workers: Optional[int] = None
+    observed: Dict[str, Any] = field(default_factory=dict, compare=False)
 
 
 @dataclass
@@ -259,6 +271,12 @@ def _provenance(
         "version": __version__,
         "seed": seed if isinstance(seed, (int, float)) else None,
         "backend": context.backend,
+        # Recorded by kinds that execute engine sweeps (theorem9,
+        # comparison, scaling, eta_coverage); null for kinds that never
+        # run one (analog sweep_map fan-outs, pure-analysis kinds) --
+        # defaulting to the *requested* backend would claim an execution
+        # strategy that never ran.
+        "backend_executed": context.observed.get("backend_executed"),
         "max_workers": context.max_workers,
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],

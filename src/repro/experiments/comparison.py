@@ -106,6 +106,7 @@ def _run_model_comparison(
     backend: str = "sequential",
     max_workers: Optional[int] = None,
     record_traces: bool = False,
+    observed: Optional[Dict[str, object]] = None,
 ) -> Tuple[ModelComparisonResult, Optional[Dict[str, dict]]]:
     """The model-comparison implementation (shared by wrapper and kind runner).
 
@@ -145,6 +146,10 @@ def _run_model_comparison(
         backend=backend,
         max_workers=max_workers,
     )
+    if observed is not None:
+        # Provenance records the strategy that actually ran (a vector
+        # request may have fallen back for unvectorizable channels).
+        observed["backend_executed"] = sweep.backend or backend
 
     stage_survivors: Dict[str, List[int]] = {}
     output_transitions: Dict[str, int] = {}
@@ -248,6 +253,7 @@ def _comparison_experiment(params: dict, context) -> ExperimentOutcome:
         backend=context.backend,
         max_workers=context.max_workers,
         record_traces=bool(params["record_traces"]),
+        observed=context.observed,
     )
     return ExperimentOutcome(
         rows=result.rows(),

@@ -143,6 +143,7 @@ def _run_theorem9(
     backend: str = "sequential",
     max_workers: Optional[int] = None,
     record_traces: bool = False,
+    observed: Optional[Dict[str, object]] = None,
 ) -> Tuple[Theorem9Result, Optional[Dict[str, dict]]]:
     """The Theorem 9 sweep implementation (shared by wrapper and kind runner).
 
@@ -198,6 +199,10 @@ def _run_theorem9(
         backend=backend,
         max_workers=max_workers,
     )
+    if observed is not None:
+        # Provenance must record the strategy that actually ran (a
+        # vector request always falls back here: the loop is cyclic).
+        observed["backend_executed"] = sweep.backend or backend
 
     observations: List[RegimeObservation] = []
     traces: Optional[Dict[str, dict]] = {} if record_traces else None
@@ -369,6 +374,7 @@ def _theorem9_experiment(params: dict, context) -> ExperimentOutcome:
         backend=context.backend,
         max_workers=context.max_workers,
         record_traces=bool(params["record_traces"]),
+        observed=context.observed,
     )
     return ExperimentOutcome(
         rows=result.rows(),

@@ -182,6 +182,7 @@ def _simulated_eta_coverage(
     max_workers: Optional[int] = None,
     backend: str = "thread",
     label: str = "eta-monte-carlo",
+    observed: Optional[Dict[str, object]] = None,
 ) -> DeviationAnalysis:
     """Monte Carlo coverage check on the event-driven engine.
 
@@ -238,6 +239,10 @@ def _simulated_eta_coverage(
     topology = CircuitTopology(circuit)
     scenarios = eta_monte_carlo(circuit, inputs, end_time, n_runs, seed=seed)
     sweep = run_many(topology, scenarios, max_workers=max_workers, backend=backend)
+    if observed is not None:
+        # Provenance records the strategy that actually ran (a vector
+        # request may have fallen back for unvectorizable channels).
+        observed["backend_executed"] = sweep.backend or backend
 
     samples: List[DeviationSample] = []
     eta_edges = [
@@ -347,6 +352,7 @@ def _eta_coverage_experiment(params: dict, context):
         backend=context.backend,
         max_workers=context.max_workers,
         label=params["label"],
+        observed=context.observed,
     )
     return ExperimentOutcome(
         rows=[analysis.summary()],

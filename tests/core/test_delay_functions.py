@@ -164,6 +164,22 @@ class TestTableDelay:
         table = TableDelay([0.0, 1.0, 2.0], [1.0, 1.5, 1.8])
         assert table.support() == (0.0, 2.0)
 
+    def test_sample_is_bitwise_identical_to_scalar_calls(self):
+        # The vectorized path claims to match the scalar path exactly;
+        # that includes the boundary T == T_samples[-1], where the scalar
+        # path returns the last sample value directly while a naive
+        # last-segment interpolation can differ in the last ulp.
+        table = TableDelay(
+            [2.660802367371721, 2.845129271316791, 4.066220476820962,
+             4.129786110851996],
+            [0.42494073603928073, 0.7660541415989874, 0.8441821189624154,
+             1.9943195568377343],
+        )
+        points = [0.0, 2.660802367371721, 2.9, 4.0, 4.129786110851996, 5.0, 50.0]
+        sampled = table.sample(points)
+        for point, value in zip(points, sampled):
+            assert value == table(point), point
+
 
 class TestFunctionalDelay:
     def test_wraps_callable(self):
