@@ -118,18 +118,29 @@ def sweep(
     on_causality: str = "error",
     max_events: int = 1_000_000,
     chunk_size: Optional[int] = None,
+    checkpoint=None,
+    retry=None,
+    chunk_timeout: Optional[float] = None,
+    on_chunk_failure: Optional[str] = None,
 ) -> SweepResult:
     """Run a scenario family through the batched sweep runner.
 
     Thin wrapper over :func:`repro.engine.sweep.run_many` that first
     coerces ``spec_or_circuit`` (``CircuitTopology`` instances pass
     through untouched, so prebuilt topologies stay amortised).
-    ``backend`` is one of ``"sequential"``, ``"thread"``, ``"process"``
-    or ``"vector"``; with every stateful channel either seeded or
-    overridden per scenario (the :func:`monte_carlo` families are) all
+    ``backend`` is one of ``"sequential"``, ``"thread"``, ``"process"``,
+    ``"vector"`` or ``"auto"``; with every stateful channel either seeded
+    or overridden per scenario (the :func:`monte_carlo` families are) all
     backends produce bit-identical executions, and ``"vector"`` falls
     back to the sequential path (with a warning and a capability report
     on the result) when the sweep cannot be vectorized.
+
+    ``backend="auto"`` -- or any of ``checkpoint=`` (artifact store or
+    directory), ``retry=``, ``chunk_timeout=``, ``on_chunk_failure=`` --
+    engages the fault-tolerant sharded runner
+    (:func:`repro.engine.shard.run_many_sharded`): chunked spec-keyed
+    checkpointing with crash-safe resume, retry with exponential backoff,
+    poison-chunk quarantine, and per-chunk vector/scalar dispatch.
     """
     if not isinstance(spec_or_circuit, CircuitTopology):
         spec_or_circuit = build(spec_or_circuit)
@@ -141,6 +152,10 @@ def sweep(
         on_causality=on_causality,
         max_events=max_events,
         chunk_size=chunk_size,
+        checkpoint=checkpoint,
+        retry=retry,
+        chunk_timeout=chunk_timeout,
+        on_chunk_failure=on_chunk_failure,
     )
 
 
@@ -174,6 +189,7 @@ def experiment(
     max_workers: Optional[int] = None,
     cache=None,
     force: bool = False,
+    checkpoint=None,
 ):
     """Run a registered experiment kind and return its ExperimentResult.
 
@@ -181,7 +197,11 @@ def experiment(
     :func:`experiments`), an :class:`~repro.specs.ExperimentSpec`, or a
     spec dict.  ``cache`` (an :class:`~repro.store.ArtifactStore` or a
     directory path) makes identical reruns return the stored artifact with
-    ``from_cache=True``.
+    ``from_cache=True``.  ``checkpoint`` additionally checkpoints the
+    experiment's *internal* sweeps chunk-by-chunk (experiment kinds that
+    support it, e.g. ``eta_coverage``), so a killed run resumes mid-sweep
+    rather than recomputing from scratch; provenance records the
+    chunks-computed/chunks-resumed split.
     """
     from .experiments.base import run_experiment
 
@@ -192,6 +212,7 @@ def experiment(
         max_workers=max_workers,
         cache=cache,
         force=force,
+        checkpoint=checkpoint,
     )
 
 

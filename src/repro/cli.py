@@ -13,6 +13,11 @@ Installed as the ``repro`` console script and reachable as
 ``sweep NETLIST --runs N``
     An eta Monte Carlo sweep (:func:`repro.engine.sweep.eta_monte_carlo`)
     over the netlist's circuit, fanned out over the chosen ``--backend``.
+    ``--checkpoint DIR`` engages the fault-tolerant sharded runner
+    (:mod:`repro.engine.shard`): finished chunks persist as content-keyed
+    artifacts and a killed sweep resumes bit-identically (``--resume``
+    asserts that it did); ``--retries``/``--chunk-timeout`` bound how
+    stubbornly failing chunks are retried before quarantine.
 ``export LIBRARY -o FILE``
     Write a library circuit (``inverter_chain``, ``buffer_chain``,
     ``spf``) as a netlist file, with eta-involution exp-channels and a
@@ -30,6 +35,8 @@ Examples::
     python -m repro simulate examples/netlists/inverter_chain.json
     python -m repro sweep examples/netlists/inverter_chain.json --runs 50 \
         --backend process --workers 4
+    python -m repro sweep examples/netlists/inverter_chain.json --runs 500 \
+        --backend auto --checkpoint sweep-ckpt/ --retries 3
     python -m repro export inverter_chain --stages 7 -o chain.json
     python -m repro experiment run theorem9 --param eta_plus=0.1 \
         --cache artifacts/
@@ -92,10 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--runs", type=int, default=20, help="Monte Carlo runs (default: 20)")
     sweep.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
     sweep.add_argument(
-        "--backend", choices=("sequential", "thread", "process", "vector"),
+        "--backend",
+        choices=("sequential", "thread", "process", "vector", "auto"),
         default="sequential", help="sweep backend (default: sequential); "
         "'vector' batch-evaluates all runs through numpy and falls back "
-        "to sequential (with a warning) when the circuit cannot be vectorized",
+        "to sequential (with a warning) when the circuit cannot be "
+        "vectorized; 'auto' runs the fault-tolerant sharded runner with "
+        "per-chunk vector/scalar dispatch",
     )
     sweep.add_argument(
         "--workers", type=int, default=None,
@@ -105,6 +115,38 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--max-events", type=int, default=1_000_000,
         help="safety bound on processed events per run (default: 1000000)",
+    )
+    sweep.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="chunk-checkpoint store directory: finished chunks are written "
+        "as content-keyed artifacts and reloaded on rerun, so a killed "
+        "sweep resumes bit-identically (engages the sharded runner)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint: require that at least one chunk is resumed "
+        "from the store (exit non-zero otherwise) -- catches restart "
+        "scripts whose parameters no longer match the stored chunks",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="total attempts per chunk before quarantine (default: 3, with "
+        "exponential backoff; engages the sharded runner)",
+    )
+    sweep.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="S",
+        help="per-chunk wall-clock budget in seconds (enforced by killing "
+        "and respawning workers under --backend process)",
+    )
+    sweep.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="scenarios per chunk in sharded mode (default: 16; part of the "
+        "checkpoint identity -- resume with the size you ran with)",
+    )
+    sweep.add_argument(
+        "--keep-failures", action="store_true",
+        help="degrade gracefully: return surviving runs with a failure "
+        "report instead of exiting non-zero when chunks are quarantined",
     )
     sweep.add_argument("--json", action="store_true", help="machine-readable output")
 
@@ -146,11 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="parameter overrides as one JSON object (merged under --param)",
     )
     erun.add_argument(
-        "--backend", choices=("sequential", "thread", "process", "vector"),
+        "--backend",
+        choices=("sequential", "thread", "process", "vector", "auto"),
         default="sequential",
         help="sweep backend for engine-driven experiments (default: "
         "sequential); 'vector' opts into the numpy batch engine where the "
-        "circuit allows it",
+        "circuit allows it; 'auto' runs sharded with per-chunk dispatch",
     )
     erun.add_argument(
         "--workers", type=int, default=None,
@@ -160,6 +203,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", metavar="DIR",
         help="artifact store directory: return stored results for identical "
         "specs, store fresh ones",
+    )
+    erun.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="chunk-checkpoint store for the experiment's internal sweeps "
+        "(kinds that support it): a killed run resumes mid-sweep",
     )
     erun.add_argument(
         "--force", action="store_true",
@@ -312,13 +360,47 @@ def _cmd_sweep(args) -> int:
             "Carlo runs are identical",
             file=sys.stderr,
         )
-    result = api.sweep(
-        circuit,
-        scenarios,
-        backend=args.backend,
-        max_workers=args.workers,
-        max_events=args.max_events,
-    )
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+        return 2
+    try:
+        result = api.sweep(
+            circuit,
+            scenarios,
+            backend=args.backend,
+            max_workers=args.workers,
+            max_events=args.max_events,
+            checkpoint=args.checkpoint,
+            retry=args.retries,
+            chunk_timeout=args.chunk_timeout,
+            chunk_size=args.chunk_size,
+            on_chunk_failure="keep" if args.keep_failures else None,
+        )
+    except Exception as exc:
+        from .engine.shard import SweepFailedError
+
+        if not isinstance(exc, SweepFailedError):
+            raise
+        # Quarantined chunks: report what failed (the surviving chunks are
+        # already checkpointed when --checkpoint is on) and exit non-zero.
+        print(f"error: {exc.report.summary()}", file=sys.stderr)
+        for failure in exc.report:
+            print(f"  {failure.summary()}", file=sys.stderr)
+        if args.checkpoint:
+            print(
+                f"completed chunks are checkpointed in {args.checkpoint}; "
+                "rerun to retry only the failed ones",
+                file=sys.stderr,
+            )
+        return 1
+    shard = result.shard_report
+    if args.resume and (shard is None or shard.resumed == 0):
+        print(
+            "error: --resume was given but no chunk could be resumed from "
+            f"{args.checkpoint} (parameters or chunk size changed?)",
+            file=sys.stderr,
+        )
+        return 1
     rows: List[Dict[str, object]] = []
     for run in result:
         outputs = {
@@ -354,6 +436,26 @@ def _cmd_sweep(args) -> int:
         }
         if result.vector_report is not None and not result.vector_report.supported:
             payload["vector_fallback_reasons"] = list(result.vector_report.reasons)
+        if shard is not None:
+            payload["chunks"] = {
+                "size": shard.chunk_size,
+                "computed": shard.computed,
+                "resumed": shard.resumed,
+                "failed": shard.failed,
+                "backends": shard.backends(),
+            }
+        if result.failure_report is not None:
+            payload["failures"] = [
+                {
+                    "chunk": f.index,
+                    "scenarios": list(f.scenario_names),
+                    "attempts": f.attempts,
+                    "kind": f.kind,
+                    "error": f.error,
+                    "error_type": f.error_type,
+                }
+                for f in result.failure_report
+            ]
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(
@@ -368,6 +470,10 @@ def _cmd_sweep(args) -> int:
                 for name, o in row["outputs"].items()
             )
             print(f"  {row['scenario']:<12s} {row['events']:>6d} events  {outs}")
+        if shard is not None:
+            print(f"chunks: {shard.summary()}")
+        if result.failure_report is not None:
+            print(f"failures: {result.failure_report.summary()}", file=sys.stderr)
         print(f"total: {result.total_seconds:.3f}s for {len(rows)} runs")
     return 0
 
@@ -450,6 +556,11 @@ def _print_provenance(result, *, show_cache: bool = True) -> None:
         f"cpu_count={prov.get('cpu_count')}  wall={prov.get('wall_time_s', 0.0):.3f}s"
         f"{cache}"
     )
+    if prov.get("chunks_computed") is not None:
+        print(
+            f"chunks: {prov['chunks_computed']} computed, "
+            f"{prov.get('chunks_resumed', 0)} resumed"
+        )
     print(f"spec key: {prov.get('spec_key')}")
 
 
@@ -477,6 +588,7 @@ def _cmd_experiment_run(args) -> int:
         max_workers=args.workers,
         cache=args.cache,
         force=args.force,
+        checkpoint=args.checkpoint,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

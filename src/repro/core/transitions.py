@@ -141,7 +141,14 @@ class Signal:
         relax the check.
     """
 
-    __slots__ = ("_initial_value", "_transitions")
+    # _packed_times caches the float64-packed transition times (the pickle
+    # and checkpoint wire format).  Producers that already hold the times
+    # as a contiguous array (the vector backend's result assembly, packed
+    # decoding itself) prefill it; for everyone else it is computed on
+    # first packing.  Signals are immutable, so the cache can never go
+    # stale.  It is identity-only state: excluded from equality/pickling
+    # semantics (the packed form *is* the times, just pre-serialised).
+    __slots__ = ("_initial_value", "_transitions", "_packed_times")
 
     def __init__(
         self,
@@ -156,6 +163,7 @@ class Signal:
         _validate_transitions(initial_value, trans, allow_negative_times)
         self._initial_value = initial_value
         self._transitions = tuple(trans)
+        self._packed_times: Optional[bytes] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -172,22 +180,32 @@ class Signal:
         signal = cls.__new__(cls)
         signal._initial_value = initial_value
         signal._transitions = tuple(transitions)
+        signal._packed_times = None
         return signal
 
+    def _pack_times(self) -> bytes:
+        """The transition times as packed little-endian float64 bytes.
+
+        The pickle and checkpoint wire format for signals (values are not
+        packed at all: alternation is a hard invariant, so they are fully
+        determined by ``initial_value``).  Cached on first use; the
+        vector backend prefills the cache straight from its result
+        arrays, making packing a hot sweep's executions nearly free.
+        """
+        packed = self._packed_times
+        if packed is None:
+            packed = self._packed_times = _array(
+                "d", [tr.time for tr in self._transitions]
+            ).tobytes()
+        return packed
+
     def __reduce__(self):
-        # Packed pickling: times as a double array, values as one byte
-        # each.  The process-based sweep backend ships whole executions
-        # (dozens of signals per run) back to the parent, and packing beats
-        # per-Transition object pickling by roughly an order of magnitude.
-        times = _array("d")
-        values = bytearray()
-        for tr in self._transitions:
-            times.append(tr.time)
-            values.append(tr.value)
-        return (
-            _signal_from_packed,
-            (self._initial_value, times.tobytes(), bytes(values)),
-        )
+        # Packed pickling: the initial value plus times as a double array.
+        # The process-based sweep backend ships whole executions (dozens
+        # of signals per run) back to the parent, and packing beats
+        # per-Transition object pickling by roughly an order of magnitude;
+        # the sharded checkpoint writer runs through here on every chunk.
+        return (_signal_from_packed, (self._initial_value, self._pack_times()))
 
     @classmethod
     def constant(cls, value: int) -> "Signal":
@@ -485,10 +503,32 @@ def _validate_transitions(
         previous_value = tr.value
 
 
-def _signal_from_packed(initial_value: int, times: bytes, values: bytes) -> Signal:
-    """Rebuild a pickled :class:`Signal` from its packed representation."""
+def _signal_from_packed(initial_value: int, times: bytes) -> Signal:
+    """Rebuild a pickled :class:`Signal` from its packed representation.
+
+    Transition values are derived, not stored: alternation is a hard
+    signal invariant, so they toggle starting from ``1 - initial_value``.
+    This is the hot path of process-backend result shipping and
+    checkpoint resume: millions of transitions flow through here, so the
+    objects are assembled directly (``__new__`` + ``object.__setattr__``,
+    the same thing the frozen dataclass ``__init__`` does) instead of
+    paying the constructor's argument handling and re-validation -- the
+    packed form was produced from an already-validated signal.
+    """
     unpacked = _array("d")
     unpacked.frombytes(times)
-    return Signal._trusted(
-        initial_value, [Transition(t, v) for t, v in zip(unpacked, values)]
-    )
+    new, setattr_ = Transition.__new__, object.__setattr__
+    transitions = []
+    append = transitions.append
+    value = 1 - initial_value
+    for t in unpacked:
+        tr = new(Transition)
+        setattr_(tr, "time", t)
+        setattr_(tr, "value", value)
+        value = 1 - value
+        append(tr)
+    signal = Signal._trusted(initial_value, transitions)
+    # The packed form is in hand -- cache it, so re-packing (a resumed
+    # sweep re-checkpointing, a worker result pickled onward) is free.
+    signal._packed_times = bytes(times)
+    return signal

@@ -19,7 +19,12 @@ Three layers, each usable on its own:
   feed-forward sweeps compiled into dense per-scenario arrays and
   evaluated for all scenarios simultaneously, bit-identical to the
   scalar engine, with a capability report
-  (:func:`vector_capability`) for everything it cannot express.
+  (:func:`vector_capability`) for everything it cannot express,
+* :mod:`repro.engine.shard` -- the fault-tolerant sharded sweep layer:
+  spec-keyed chunk checkpointing with crash-safe resume, retry with
+  exponential backoff, per-chunk wall-clock timeouts, poison-chunk
+  quarantine, and per-chunk vector/scalar dispatch
+  (:func:`run_many_sharded`; ``run_many(backend="auto")`` routes here).
 
 The scheduler and sweep layers are imported lazily (PEP 562) because
 :mod:`repro.core.channel` imports the kernel at module load time; eager
@@ -72,6 +77,16 @@ __all__ = [
     "vector_capability",
     "compile_sweep",
     "run_many_vector",
+    # shard (lazy)
+    "RetryPolicy",
+    "ChunkFailure",
+    "SweepFailureReport",
+    "SweepFailedError",
+    "ChunkRecord",
+    "ShardReport",
+    "FaultInjector",
+    "InlineChunkExecutor",
+    "run_many_sharded",
 ]
 
 _SCHEDULER_EXPORTS = {
@@ -100,6 +115,17 @@ _VECTOR_EXPORTS = {
     "compile_sweep",
     "run_many_vector",
 }
+_SHARD_EXPORTS = {
+    "RetryPolicy",
+    "ChunkFailure",
+    "SweepFailureReport",
+    "SweepFailedError",
+    "ChunkRecord",
+    "ShardReport",
+    "FaultInjector",
+    "InlineChunkExecutor",
+    "run_many_sharded",
+}
 
 
 def __getattr__(name):
@@ -115,6 +141,10 @@ def __getattr__(name):
         from . import vector
 
         return getattr(vector, name)
+    if name in _SHARD_EXPORTS:
+        from . import shard
+
+        return getattr(shard, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -1,0 +1,1369 @@
+"""Fault-tolerant sharded sweep execution: checkpoint, resume, retry, dispatch.
+
+:func:`repro.engine.sweep.run_many` is all-or-nothing: a worker crash,
+OOM-kill or Ctrl-C at scenario 119/120 loses everything, and one
+unsupported scenario shape drops the *entire* sweep from the vector
+backend to scalar.  This module makes scenario families resilient:
+
+Chunking and checkpointing
+    A sweep is split into deterministic, order-preserving *chunks*
+    (:func:`make_chunks`).  With ``checkpoint=`` (an
+    :class:`~repro.store.ArtifactStore` or directory path) every finished
+    chunk is written to the store under a content key -- the SHA-256 of
+    the circuit's declarative spec plus the chunk's computation-relevant
+    scenario JSON (inputs, channel overrides, horizons, engine policies;
+    see :func:`chunk_spec`).  A killed or crashed sweep *resumes* by
+    loading finished chunks and recomputing only the remainder,
+    bit-identical to an uninterrupted run: the packed signal encoding
+    round-trips float64 times exactly.
+
+Retry, timeout, and poison chunks
+    Each chunk executes under a :class:`RetryPolicy` (configurable
+    attempts with exponential backoff).  On the process backend a
+    per-chunk wall-clock timeout is enforced by killing and respawning
+    the worker pool, and a ``BrokenProcessPool`` (worker OOM-killed or
+    segfaulted) is likewise recovered by respawning.  A chunk that still
+    fails after its last attempt is *quarantined*: its exception is
+    captured in a structured :class:`ChunkFailure`, sibling chunks
+    complete normally, and the sweep either raises a
+    :class:`SweepFailedError` at the end (default) or -- with
+    ``on_chunk_failure="keep"`` -- returns the surviving runs with the
+    :class:`SweepFailureReport` attached to ``SweepResult.failure_report``.
+
+Per-chunk backend dispatch
+    With ``backend="auto"`` (or ``"vector"``) every chunk consults the
+    vector compiler individually: vector-eligible chunks run vectorized
+    (inside each process worker, under ``backend="process"`` -- the ~6x
+    vector speedup and multi-core scaling multiply), and only the
+    genuinely incompatible chunks fall back to the scalar engine.  The
+    fallback is never silent: per-chunk obstacles are aggregated into the
+    sweep's ``vector_report`` and a ``RuntimeWarning``.
+
+Fault injection
+    :class:`FaultInjector` wraps a chunk executor and raises chosen
+    faults on chosen ``(chunk, attempt)`` pairs -- the deterministic
+    harness the test-suite uses to prove resume equivalence and retry
+    semantics.  The process pool accepts an equivalent ``chaos`` table
+    that kills, hangs, or raises inside real workers.
+"""
+
+from __future__ import annotations
+
+import base64
+import math
+import os
+import pickle
+import queue as _queue
+import threading
+import time as _time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.transitions import Signal, _signal_from_packed
+from .errors import SimulationError
+from .scheduler import CircuitTopology, Engine, Execution
+
+__all__ = [
+    "CHUNK_FORMAT",
+    "DEFAULT_CHUNK_SIZE",
+    "RetryPolicy",
+    "as_retry_policy",
+    "ChunkError",
+    "ChunkTimeoutError",
+    "WorkerCrashError",
+    "SweepFailedError",
+    "SweepChunk",
+    "ChunkFailure",
+    "SweepFailureReport",
+    "ChunkRecord",
+    "ShardReport",
+    "InlineChunkExecutor",
+    "FaultInjector",
+    "make_chunks",
+    "chunk_spec",
+    "scenario_fingerprint",
+    "run_many_sharded",
+]
+
+#: Artifact format tag of per-chunk checkpoint payloads.
+CHUNK_FORMAT = "repro-sweep-chunk"
+
+#: Scenarios per chunk when ``chunk_size`` is not given.  Deliberately a
+#: fixed constant (never derived from the worker count): chunk boundaries
+#: are part of the checkpoint key, and a resume on a machine with a
+#: different core count must still hit the stored chunks.
+DEFAULT_CHUNK_SIZE = 16
+
+
+# --------------------------------------------------------------------------- #
+# Retry policy
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, a failing chunk is re-attempted.
+
+    ``attempts`` is the *total* number of tries (1 = no retries).  Before
+    retry ``n`` (the second try being ``n = 2``) the runner sleeps
+    ``backoff_s * multiplier**(n - 2)`` seconds, capped at
+    ``max_backoff_s`` -- classic exponential backoff, which matters when
+    the failure is a transient resource squeeze (OOM-killed worker, a
+    saturated machine) rather than a deterministic bug.
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.1
+    multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("RetryPolicy.attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0 or self.multiplier < 1.0:
+            raise ValueError("RetryPolicy backoff parameters must be non-negative")
+
+    def delay_before(self, attempt: int) -> float:
+        """Seconds to sleep before the given attempt (1-based; 0 for the first)."""
+        if attempt <= 1:
+            return 0.0
+        return min(self.backoff_s * self.multiplier ** (attempt - 2), self.max_backoff_s)
+
+
+def as_retry_policy(retry) -> RetryPolicy:
+    """Coerce ``None`` (defaults), an int (total attempts), or a policy."""
+    if retry is None:
+        return RetryPolicy()
+    if isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, int):
+        return RetryPolicy(attempts=retry)
+    raise TypeError(f"cannot interpret {type(retry).__name__} as a retry policy")
+
+
+# --------------------------------------------------------------------------- #
+# Errors and failure reporting
+# --------------------------------------------------------------------------- #
+
+
+class ChunkError(SimulationError):
+    """Base class of chunk-level execution failures."""
+
+
+class ChunkTimeoutError(ChunkError):
+    """A chunk exceeded its per-attempt wall-clock timeout."""
+
+
+class WorkerCrashError(ChunkError):
+    """A process worker died mid-chunk (``BrokenProcessPool``, kill, OOM)."""
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One quarantined chunk: what failed, how, and after how many tries."""
+
+    index: int
+    scenario_names: Tuple[str, ...]
+    attempts: int
+    kind: str  # "timeout" | "crash" | "exception"
+    error: str
+    error_type: str
+    key: Optional[str] = None
+
+    def summary(self) -> str:
+        """One-line human-readable description of this failure."""
+        names = ", ".join(self.scenario_names[:3])
+        if len(self.scenario_names) > 3:
+            names += f", ... ({len(self.scenario_names)} scenarios)"
+        return (
+            f"chunk {self.index} [{names}] failed after {self.attempts} "
+            f"attempt(s): {self.kind}: {self.error}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepFailureReport:
+    """Structured account of every quarantined chunk of a sweep."""
+
+    failures: Tuple[ChunkFailure, ...]
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def __iter__(self):
+        return iter(self.failures)
+
+    def summary(self) -> str:
+        """One-line roll-up naming each failed chunk."""
+        return (
+            f"{len(self.failures)} chunk(s) quarantined: "
+            + "; ".join(f.summary() for f in self.failures)
+        )
+
+
+class SweepFailedError(SimulationError):
+    """Raised at sweep end when chunks were quarantined (default policy).
+
+    Carries the :class:`SweepFailureReport` as ``report`` and the partial
+    :class:`~repro.engine.sweep.SweepResult` (surviving runs, shard
+    report, any checkpointed progress) as ``result`` -- the work that
+    *did* finish is never discarded, and a checkpointed rerun resumes it.
+    """
+
+    def __init__(self, report: SweepFailureReport, result) -> None:
+        super().__init__(report.summary())
+        self.report = report
+        self.result = result
+
+
+# --------------------------------------------------------------------------- #
+# Chunking and content keys
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SweepChunk:
+    """A contiguous slice of a sweep's scenarios, with its content key.
+
+    ``spec``/``key`` are ``None`` unless the sweep is checkpointed --
+    keying requires spec-representable scenarios, which uncheckpointed
+    sweeps need not satisfy.
+    """
+
+    index: int
+    scenarios: Tuple[object, ...]
+    spec: Optional[Dict[str, Any]] = None
+    key: Optional[str] = None
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Scenario names of this chunk (labels only, not key material)."""
+        return tuple(s.name for s in self.scenarios)
+
+
+def scenario_fingerprint(scenario, *, _signal_memo=None) -> Dict[str, Any]:
+    """The computation-relevant canonical JSON of one scenario.
+
+    Covers exactly what determines the scenario's execution: input
+    signals, the simulation horizon, and per-edge channel overrides as
+    declarative :class:`~repro.specs.ChannelSpec` dicts.  Adversary
+    *seeds* are split out of the channel dicts into a separate
+    ``channel_seeds`` entry: in the common scenario family (a Monte
+    Carlo sweep) the seed is the *only* thing that differs between
+    scenarios, and the split lets :func:`chunk_spec` pool one shared
+    seed-free channel table per chunk instead of repeating ~10 KB of
+    channel parameters per scenario.  Scenario ``name`` and ``metadata``
+    are display labels and deliberately excluded -- renaming runs must
+    not invalidate a checkpoint.  Raises
+    :class:`~repro.specs.SpecError` for channels that cannot be expressed
+    as specs.
+
+    ``_signal_memo`` is an identity-keyed cache :func:`make_chunks`
+    shares across a whole sweep's fingerprints: scenario families
+    typically reuse the very same input-signal objects in every scenario,
+    and serialising a long pulse train once instead of once per scenario
+    keeps chunk keying off the checkpoint-overhead bill.
+
+    Scenarios whose producer precomputed ``scenario.fingerprint`` (e.g.
+    :func:`~repro.engine.sweep.eta_monte_carlo`, which knows only the
+    adversary seed varies between runs) return it directly -- the
+    equivalence of the precomputed and derived forms is pinned by the
+    test-suite.
+    """
+    precomputed = getattr(scenario, "fingerprint", None)
+    if precomputed is not None:
+        return precomputed
+
+    from ..io.netlist import signal_to_dict
+    from ..specs import ChannelSpec
+
+    inputs: Dict[str, Any] = {}
+    for port, signal in sorted(scenario.inputs.items()):
+        if _signal_memo is None:
+            inputs[port] = signal_to_dict(signal)
+        else:
+            cached = _signal_memo.get(id(signal))
+            if cached is None:
+                cached = _signal_memo[id(signal)] = signal_to_dict(signal)
+            inputs[port] = cached
+    data: Dict[str, Any] = {
+        "end_time": float(scenario.end_time),
+        "inputs": inputs,
+    }
+    if scenario.channels:
+        channels: Dict[str, Any] = {}
+        seeds: Dict[str, Any] = {}
+        for ename, channel in sorted(scenario.channels.items()):
+            ch = ChannelSpec.from_channel(channel).to_dict()
+            adv = ch.get("adversary")
+            if isinstance(adv, dict) and "seed" in adv:
+                adv = dict(adv)
+                seeds[ename] = adv.pop("seed")
+                ch = dict(ch)
+                ch["adversary"] = adv
+            channels[ename] = ch
+        data["channels"] = channels
+        if seeds:
+            data["channel_seeds"] = seeds
+    return data
+
+
+def chunk_spec(
+    circuit_spec: Dict[str, Any],
+    scenarios: Sequence[object],
+    *,
+    on_causality: str,
+    max_events: int,
+    _signal_memo=None,
+    _text_memo=None,
+) -> Dict[str, Any]:
+    """The content spec a chunk checkpoint is keyed on.
+
+    SHA-256 of this dict's canonical JSON (via
+    :meth:`repro.store.ArtifactStore.key_for`) is the chunk key: it pins
+    the circuit (declarative spec), every scenario's computation-relevant
+    fingerprint *in order*, and the engine policies that shape results.
+    Chunk boundaries are part of the identity -- resuming with a
+    different ``chunk_size`` recomputes (correctly, never wrongly).
+
+    The bulky fingerprint components -- the ``inputs`` signal table and
+    the seed-free ``channels`` table -- are *pooled*: each distinct value
+    is stored once in the chunk's ``pool`` list and referenced by index
+    from the per-scenario entries.  Scenario families share their input
+    signals and channel parameters across every scenario (only adversary
+    seeds differ), so pooling shrinks the keyed spec (and the spec
+    embedded in every checkpoint artifact) by an order of magnitude.
+    Pooling is by *value* (canonical JSON), so the chunk key never
+    depends on whether a producer happened to alias the dicts.
+
+    ``_text_memo`` is an id-keyed canonical-text cache shared across a
+    sweep's chunks by :func:`make_chunks`, so aliased pool entries are
+    canonicalised once per sweep rather than once per scenario.  Each
+    entry pins ``(value, text)`` -- keeping the keyed object alive is
+    what makes the ``id()`` key sound (a freed dict's id can be reused
+    by a different value, which would silently poison the cache).
+    """
+    from ..specs import _canonical_key
+
+    pool: List[Any] = []
+    pool_index: Dict[str, int] = {}
+
+    def intern(value: Any) -> int:
+        if _text_memo is not None:
+            entry = _text_memo.get(id(value))
+            if entry is None or entry[0] is not value:
+                entry = _text_memo[id(value)] = (value, _canonical_key(value))
+            text = entry[1]
+        else:
+            text = _canonical_key(value)
+        idx = pool_index.get(text)
+        if idx is None:
+            idx = pool_index[text] = len(pool)
+            pool.append(value)
+        return idx
+
+    fingerprints: List[Dict[str, Any]] = []
+    for s in scenarios:
+        fp = dict(scenario_fingerprint(s, _signal_memo=_signal_memo))
+        fp["inputs"] = intern(fp["inputs"])
+        if "channels" in fp:
+            fp["channels"] = intern(fp["channels"])
+        fingerprints.append(fp)
+    return {
+        "kind": "sweep_chunk",
+        "format_version": 1,
+        "circuit": circuit_spec,
+        "on_causality": on_causality,
+        "max_events": int(max_events),
+        "pool": pool,
+        "scenarios": fingerprints,
+    }
+
+
+def make_chunks(
+    scenarios: Sequence[object],
+    chunk_size: int,
+    *,
+    circuit_spec: Optional[Dict[str, Any]] = None,
+    on_causality: str = "error",
+    max_events: int = 1_000_000,
+) -> List[SweepChunk]:
+    """Split scenarios into deterministic, order-preserving chunks.
+
+    With ``circuit_spec`` given (checkpointed sweeps), every chunk also
+    carries its content spec and SHA-256 key.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks: List[SweepChunk] = []
+    signal_memo: Dict[int, Any] = {}
+    text_memo: Dict[int, Tuple[Any, str]] = {}
+    for index, start in enumerate(range(0, len(scenarios), chunk_size)):
+        part = tuple(scenarios[start : start + chunk_size])
+        spec = key = None
+        if circuit_spec is not None:
+            from ..store import ArtifactStore
+
+            spec = chunk_spec(
+                circuit_spec,
+                part,
+                on_causality=on_causality,
+                max_events=max_events,
+                _signal_memo=signal_memo,
+                _text_memo=text_memo,
+            )
+            key = ArtifactStore.key_for(spec)
+        chunks.append(SweepChunk(index=index, scenarios=part, spec=spec, key=key))
+    return chunks
+
+
+# --------------------------------------------------------------------------- #
+# Chunk payload encoding (the checkpoint wire format)
+# --------------------------------------------------------------------------- #
+# Signals are packed exactly like Signal.__reduce__ does for the process
+# backend -- the initial value plus a float64 time array, base64-wrapped
+# for JSON -- so encoding costs O(transitions) array appends instead of
+# per-float repr() calls, and decoding reuses the trusted fast path.
+# Transition values are never stored: alternation is a hard Signal
+# invariant, so the value sequence is fully determined by the initial
+# value.  Float64 bits survive the round trip exactly, which is what
+# makes a resumed sweep bit-identical to an uninterrupted one.
+
+
+def _pack_signal(signal: Signal) -> Dict[str, Any]:
+    return {
+        "i": signal.initial_value,
+        "t": base64.b64encode(signal._pack_times()).decode("ascii"),
+    }
+
+
+def _unpack_signal(data: Dict[str, Any]) -> Signal:
+    return _signal_from_packed(int(data["i"]), base64.b64decode(data["t"]))
+
+
+def _encode_chunk_payload(outcome: "_ChunkOutcome") -> Dict[str, Any]:
+    runs = []
+    for run in outcome.runs:
+        execution = run.execution
+        runs.append(
+            {
+                "node_signals": {
+                    name: _pack_signal(sig)
+                    for name, sig in execution.node_signals.items()
+                },
+                "edge_signals": {
+                    name: _pack_signal(sig)
+                    for name, sig in execution.edge_signals.items()
+                },
+                "event_count": execution.event_count,
+                "dropped_transitions": execution.dropped_transitions,
+                "seconds": run.seconds,
+            }
+        )
+    return {
+        "backend": outcome.backend,
+        "vector_reasons": list(outcome.vector_reasons),
+        "seconds": outcome.seconds,
+        "runs": runs,
+    }
+
+
+def _decode_chunk_payload(topo: CircuitTopology, chunk: SweepChunk, payload):
+    """Rebuild the chunk's RunResults from a payload, or ``None`` if damaged."""
+    from .sweep import RunResult
+
+    try:
+        encoded_runs = payload["runs"]
+        if len(encoded_runs) != len(chunk.scenarios):
+            return None
+        runs = []
+        for scenario, data in zip(chunk.scenarios, encoded_runs):
+            node_signals = {
+                name: _unpack_signal(sig) for name, sig in data["node_signals"].items()
+            }
+            edge_signals = {
+                name: _unpack_signal(sig) for name, sig in data["edge_signals"].items()
+            }
+            output_signals = {o: node_signals[o] for o in topo.output_ports}
+            runs.append(
+                RunResult(
+                    scenario=scenario,
+                    execution=Execution(
+                        circuit=topo.circuit,
+                        node_signals=node_signals,
+                        edge_signals=edge_signals,
+                        output_signals=output_signals,
+                        end_time=scenario.end_time,
+                        event_count=int(data["event_count"]),
+                        dropped_transitions=int(data["dropped_transitions"]),
+                    ),
+                    seconds=float(data["seconds"]),
+                )
+            )
+        return _ChunkOutcome(
+            runs=runs,
+            backend=str(payload.get("backend", "sequential")),
+            vector_reasons=tuple(payload.get("vector_reasons", ())),
+            seconds=float(payload.get("seconds", 0.0)),
+            payload=payload,
+        )
+    except (KeyError, TypeError, ValueError):
+        # Damaged checkpoint content: treat as a miss and recompute --
+        # exactly the store's own damaged-artifact discipline.
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Chunk execution
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _ChunkOutcome:
+    """One executed (or resumed) chunk: live runs plus bookkeeping."""
+
+    runs: List[object]
+    backend: str
+    vector_reasons: Tuple[str, ...]
+    seconds: float
+    payload: Optional[Dict[str, Any]] = None
+
+
+def _execute_chunk(
+    topo: CircuitTopology,
+    engine: Engine,
+    scenarios: Sequence[object],
+    *,
+    dispatch: bool,
+    on_causality: str,
+    max_events: int,
+) -> _ChunkOutcome:
+    """Run one chunk, vectorized when ``dispatch`` allows and the chunk can."""
+    from .sweep import RunResult
+
+    start = _time.perf_counter()
+    reasons: Tuple[str, ...] = ()
+    if dispatch:
+        from .vector import VectorUnsupportedError, compile_sweep
+
+        try:
+            program = compile_sweep(
+                topo, scenarios, on_causality=on_causality, max_events=max_events
+            )
+            runs = program.run()
+            return _ChunkOutcome(
+                runs=runs,
+                backend="vector",
+                vector_reasons=(),
+                seconds=_time.perf_counter() - start,
+            )
+        except VectorUnsupportedError as exc:
+            # Per-chunk fallback: only THIS chunk pays the scalar price.
+            reasons = exc.report.reasons
+    runs = []
+    for scenario in scenarios:
+        run_start = _time.perf_counter()
+        execution = engine.run(
+            scenario.inputs, scenario.end_time, channels=scenario.channels or None
+        )
+        runs.append(
+            RunResult(
+                scenario=scenario,
+                execution=execution,
+                seconds=_time.perf_counter() - run_start,
+            )
+        )
+    return _ChunkOutcome(
+        runs=runs,
+        backend="sequential",
+        vector_reasons=reasons,
+        seconds=_time.perf_counter() - start,
+    )
+
+
+class InlineChunkExecutor:
+    """Executes chunks in-process, one at a time.
+
+    The default executor for the ``auto``/``vector``/``sequential``
+    sharded backends; also the natural base for a :class:`FaultInjector`.
+    ``dispatch=False`` pins every chunk to the scalar engine.
+
+    Note: an inline executor cannot preempt a hung chunk -- wall-clock
+    ``chunk_timeout`` enforcement needs ``backend="process"``, where a
+    stuck worker is killed and respawned.
+    """
+
+    def __init__(
+        self,
+        topology,
+        *,
+        dispatch: bool = True,
+        on_causality: str = "error",
+        max_events: int = 1_000_000,
+    ) -> None:
+        self.topology = (
+            topology
+            if isinstance(topology, CircuitTopology)
+            else CircuitTopology(topology)
+        )
+        self.dispatch = dispatch
+        self.on_causality = on_causality
+        self.max_events = max_events
+        self._engine = Engine(
+            self.topology, on_causality=on_causality, max_events=max_events
+        )
+
+    def run_chunk(self, chunk: SweepChunk, attempt: int) -> _ChunkOutcome:
+        """Execute one chunk (``attempt`` is 1-based, for harness wrappers)."""
+        return _execute_chunk(
+            self.topology,
+            self._engine,
+            chunk.scenarios,
+            dispatch=self.dispatch,
+            on_causality=self.on_causality,
+            max_events=self.max_events,
+        )
+
+
+class FaultInjector:
+    """Deterministic fault-injection wrapper around a chunk executor.
+
+    ``faults`` maps ``(chunk_index, attempt)`` to a fault: an exception
+    *instance* to raise, or one of the strings ``"crash"``
+    (:class:`WorkerCrashError`), ``"timeout"``
+    (:class:`ChunkTimeoutError`), ``"error"`` (a plain
+    :class:`RuntimeError`), or ``"abort"`` (:class:`KeyboardInterrupt` --
+    simulates the whole sweep process dying mid-flight, which the serial
+    orchestrator deliberately does not catch).  Unlisted ``(chunk,
+    attempt)`` pairs execute normally, so "fails twice then succeeds" is
+    expressed by listing exactly two attempts.
+
+    This is the harness the fault-tolerance test-suite drives; it lives
+    in the library so downstream users can prove their own sweeps'
+    resilience the same way.
+    """
+
+    _BUILTIN = {
+        "crash": lambda: WorkerCrashError("injected worker crash"),
+        "timeout": lambda: ChunkTimeoutError("injected chunk timeout"),
+        "error": lambda: RuntimeError("injected chunk failure"),
+        "abort": lambda: KeyboardInterrupt(),
+    }
+
+    def __init__(self, inner, faults: Dict[Tuple[int, int], object]) -> None:
+        self.inner = inner
+        self.faults = dict(faults)
+        self.calls: List[Tuple[int, int]] = []
+
+    def run_chunk(self, chunk: SweepChunk, attempt: int):
+        """Raise the configured fault for this (chunk, attempt), or delegate."""
+        self.calls.append((chunk.index, attempt))
+        fault = self.faults.get((chunk.index, attempt))
+        if fault is not None:
+            if isinstance(fault, str):
+                raise self._BUILTIN[fault]()
+            raise fault
+        return self.inner.run_chunk(chunk, attempt)
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool execution with kill/hang recovery
+# --------------------------------------------------------------------------- #
+# Workers rebuild the engine once per process from the declarative
+# CircuitSpec JSON (exactly like run_many's plain process backend) and run
+# whole chunks -- vectorized when the chunk compiles, scalar otherwise --
+# returning the packed JSON payload, which the parent both decodes into
+# live runs and (when checkpointing) writes to the store verbatim.
+
+_SHARD_WORKER: Optional[Dict[str, Any]] = None
+
+
+def _shard_worker_init(
+    spec_json: str,
+    on_causality: str,
+    max_events: int,
+    dispatch: bool,
+    chaos: Optional[Dict[str, List[List[int]]]],
+) -> None:
+    global _SHARD_WORKER
+    from ..specs import CircuitSpec
+
+    circuit = CircuitSpec.from_json(spec_json).build()
+    topo = CircuitTopology(circuit)
+    _SHARD_WORKER = {
+        "topo": topo,
+        "engine": Engine(topo, on_causality=on_causality, max_events=max_events),
+        "on_causality": on_causality,
+        "max_events": max_events,
+        "dispatch": dispatch,
+        "chaos": {
+            kind: {tuple(pair) for pair in pairs}
+            for kind, pairs in (chaos or {}).items()
+        },
+    }
+
+
+def _apply_chaos(chaos: Dict[str, set], chunk_index: int, attempt: int) -> None:
+    """Test-only fault hooks, keyed on (chunk, attempt) like FaultInjector."""
+    pair = (chunk_index, attempt)
+    if pair in chaos.get("kill", ()):
+        os._exit(1)  # simulates an OOM-kill / segfault: no cleanup, no excuse
+    if pair in chaos.get("hang", ()):
+        _time.sleep(3600.0)  # parent's chunk_timeout must kill us
+    if pair in chaos.get("raise", ()):
+        raise RuntimeError(f"chaos: injected failure in chunk {chunk_index}")
+
+
+def _shard_worker_run(payload: bytes) -> Dict[str, Any]:
+    state = _SHARD_WORKER
+    chunk_index, attempt, scenarios = pickle.loads(payload)
+    _apply_chaos(state["chaos"], chunk_index, attempt)
+    outcome = _execute_chunk(
+        state["topo"],
+        state["engine"],
+        scenarios,
+        dispatch=state["dispatch"],
+        on_causality=state["on_causality"],
+        max_events=state["max_events"],
+    )
+    return _encode_chunk_payload(outcome)
+
+
+class _ProcessChunkRunner:
+    """Runs chunks on a respawnable process pool with timeouts and retries."""
+
+    def __init__(
+        self,
+        spec_json: str,
+        *,
+        on_causality: str,
+        max_events: int,
+        dispatch: bool,
+        max_workers: int,
+        chunk_timeout: Optional[float],
+        chaos: Optional[Dict[str, List[List[int]]]],
+    ) -> None:
+        self.spec_json = spec_json
+        self.on_causality = on_causality
+        self.max_events = max_events
+        self.dispatch = dispatch
+        self.max_workers = max(1, max_workers)
+        self.chunk_timeout = chunk_timeout
+        self.chaos = chaos
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _pool_or_spawn(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_shard_worker_init,
+                initargs=(
+                    self.spec_json,
+                    self.on_causality,
+                    self.max_events,
+                    self.dispatch,
+                    self.chaos,
+                ),
+            )
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        # A hung or broken pool cannot be drained politely: terminate the
+        # workers outright (a worker sleeping in a stuck chunk would
+        # otherwise keep the interpreter alive at exit), then shut down.
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except OSError:
+                pass
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def _submit(self, chunk: SweepChunk, attempt: int):
+        payload = pickle.dumps((chunk.index, attempt, chunk.scenarios))
+        try:
+            return self._pool_or_spawn().submit(_shard_worker_run, payload)
+        except BrokenProcessPool:
+            self._kill_pool()
+            return self._pool_or_spawn().submit(_shard_worker_run, payload)
+
+    def run(
+        self,
+        chunks: Sequence[SweepChunk],
+        policy: RetryPolicy,
+        on_success: Callable[[SweepChunk, Dict[str, Any], int], None],
+        on_failure: Callable[[ChunkFailure], None],
+    ) -> None:
+        """Drive all chunks to success or quarantine; callbacks per chunk."""
+        # waiting: (chunk, attempt, ready_at); in_flight: future -> (chunk,
+        # attempt, deadline).  At most max_workers chunks are in flight, so
+        # a submission's timeout clock starts when a worker actually can.
+        waiting = deque(
+            (chunk, 1, 0.0) for chunk in sorted(chunks, key=lambda c: c.index)
+        )
+        in_flight: Dict[object, Tuple[SweepChunk, int, float]] = {}
+
+        def fail_or_retry(chunk, attempt, kind, error) -> None:
+            if attempt < policy.attempts:
+                ready = _time.monotonic() + policy.delay_before(attempt + 1)
+                waiting.append((chunk, attempt + 1, ready))
+            else:
+                on_failure(
+                    ChunkFailure(
+                        index=chunk.index,
+                        scenario_names=chunk.names,
+                        attempts=attempt,
+                        kind=kind,
+                        error=str(error) or repr(error),
+                        error_type=type(error).__name__,
+                        key=chunk.key,
+                    )
+                )
+
+        try:
+            while waiting or in_flight:
+                now = _time.monotonic()
+                ready = sorted(
+                    (item for item in waiting if item[2] <= now),
+                    key=lambda item: item[0].index,
+                )
+                for item in ready:
+                    if len(in_flight) >= self.max_workers:
+                        break
+                    waiting.remove(item)
+                    chunk, attempt, _ = item
+                    deadline = (
+                        math.inf
+                        if self.chunk_timeout is None
+                        else _time.monotonic() + self.chunk_timeout
+                    )
+                    in_flight[self._submit(chunk, attempt)] = (chunk, attempt, deadline)
+                if not in_flight:
+                    # Everything is backing off: sleep until the first retry.
+                    _time.sleep(max(0.0, min(item[2] for item in waiting) - now))
+                    continue
+                timeouts = [dl - now for (_, _, dl) in in_flight.values()]
+                timeouts += [item[2] - now for item in waiting]
+                wait_s = max(0.0, min(t for t in timeouts if t != math.inf))\
+                    if any(t != math.inf for t in timeouts) else None
+                done, _ = wait(
+                    set(in_flight), timeout=wait_s, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for future in sorted(done, key=lambda f: in_flight[f][0].index):
+                    chunk, attempt, _ = in_flight.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool as exc:
+                        # Every outstanding future fails when the pool
+                        # breaks; blame the first (lowest-index) chunk and
+                        # treat the rest as collateral (no attempt spent).
+                        if not broken:
+                            broken = True
+                            fail_or_retry(
+                                chunk,
+                                attempt,
+                                "crash",
+                                WorkerCrashError(
+                                    f"process worker died while running chunk "
+                                    f"{chunk.index} ({exc})"
+                                ),
+                            )
+                        else:
+                            waiting.append((chunk, attempt, 0.0))
+                        continue
+                    except Exception as exc:
+                        fail_or_retry(chunk, attempt, "exception", exc)
+                        continue
+                    on_success(chunk, payload, attempt)
+                if broken:
+                    self._kill_pool()
+                    for chunk, attempt, _ in in_flight.values():
+                        waiting.append((chunk, attempt, 0.0))  # collateral
+                    in_flight.clear()
+                    continue
+                now = _time.monotonic()
+                expired = [
+                    future
+                    for future, (_, _, deadline) in in_flight.items()
+                    if deadline <= now and future not in done
+                ]
+                if expired:
+                    for future in sorted(expired, key=lambda f: in_flight[f][0].index):
+                        chunk, attempt, _ = in_flight.pop(future)
+                        fail_or_retry(
+                            chunk,
+                            attempt,
+                            "timeout",
+                            ChunkTimeoutError(
+                                f"chunk {chunk.index} exceeded its "
+                                f"{self.chunk_timeout:g}s wall-clock timeout"
+                            ),
+                        )
+                    # The stuck worker cannot be cancelled -- kill the pool
+                    # and resubmit the innocent bystanders untouched.
+                    self._kill_pool()
+                    for chunk, attempt, _ in in_flight.values():
+                        waiting.append((chunk, attempt, 0.0))
+                    in_flight.clear()
+        finally:
+            self._kill_pool()
+
+
+# --------------------------------------------------------------------------- #
+# Shard bookkeeping attached to SweepResult
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """How one chunk of a sharded sweep was satisfied."""
+
+    index: int
+    scenarios: int
+    backend: str
+    resumed: bool
+    attempts: int
+    seconds: float
+    vector_reasons: Tuple[str, ...] = ()
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-chunk accounting of a sharded sweep (``SweepResult.shard_report``)."""
+
+    chunk_size: int
+    executor: str  # "inline" | "process" | "custom"
+    records: Tuple[ChunkRecord, ...]
+    failed: int = 0
+
+    @property
+    def computed(self) -> int:
+        """Chunks executed in this run (not loaded from the checkpoint)."""
+        return sum(1 for r in self.records if not r.resumed)
+
+    @property
+    def resumed(self) -> int:
+        """Chunks satisfied from the checkpoint store without recomputation."""
+        return sum(1 for r in self.records if r.resumed)
+
+    def backends(self) -> Dict[str, int]:
+        """Histogram of per-chunk execution backends."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.backend] = counts.get(record.backend, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line human-readable account of the sweep's chunks."""
+        backends = ", ".join(f"{k} x {v}" for k, v in sorted(self.backends().items()))
+        return (
+            f"{self.computed} chunk(s) computed, {self.resumed} resumed, "
+            f"{self.failed} failed (chunk size {self.chunk_size}, "
+            f"{self.executor}; {backends or 'no chunks'})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Asynchronous checkpoint persistence
+# --------------------------------------------------------------------------- #
+
+
+class _CheckpointWriter:
+    """Persists chunk checkpoints on a background thread.
+
+    Encoding a chunk's runs into the packed payload and writing the JSON
+    artifact costs real time (tens of milliseconds per 16-scenario chunk
+    on the benchmark workload); doing it inline serializes checkpoint
+    I/O with chunk compute.  A single writer thread overlaps the two --
+    vector chunks spend long stretches in numpy with the GIL released,
+    and file writes release it too -- which is what keeps the measured
+    checkpoint overhead inside the <= 10% acceptance budget.
+
+    Semantics match synchronous writes: one consumer persists
+    submissions in order, and :meth:`close` drains the queue and joins
+    the thread before the sweep returns -- so a completed ``run_many``
+    call's checkpoints are always durable, and an interrupted sweep
+    still keeps every chunk submitted before the interrupt.  Write
+    errors never race the sweep: they are collected and re-raised on
+    the normal path via :meth:`raise_first`.
+    """
+
+    _DONE = object()
+
+    def __init__(self, store) -> None:
+        # Bounded queue: at most a few encoded-pending chunks in flight,
+        # so a slow disk applies backpressure instead of ballooning RSS.
+        self._store = store
+        self._queue: "_queue.Queue" = _queue.Queue(maxsize=4)
+        self.errors: List[BaseException] = []
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-checkpoint-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        """Consumer loop: encode (if needed) and persist until the sentinel."""
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                return
+            chunk, outcome = item
+            try:
+                payload = outcome.payload or _encode_chunk_payload(outcome)
+                self._store.put_payload(
+                    chunk.spec, payload, fmt=CHUNK_FORMAT, key=chunk.key
+                )
+            except BaseException as exc:  # noqa: BLE001 - reported at close
+                self.errors.append(exc)
+
+    def submit(self, chunk: SweepChunk, outcome: "_ChunkOutcome") -> None:
+        """Queue a finished chunk for persistence (blocks when the queue is full)."""
+        self._queue.put((chunk, outcome))
+
+    def close(self) -> None:
+        """Drain queued writes and join the thread; never raises."""
+        self._queue.put(self._DONE)
+        self._thread.join()
+
+    def raise_first(self) -> None:
+        """Re-raise the first write error, if any (call after :meth:`close`)."""
+        if self.errors:
+            raise self.errors[0]
+
+
+# --------------------------------------------------------------------------- #
+# The sharded runner
+# --------------------------------------------------------------------------- #
+
+
+def _circuit_spec_or_raise(topology: CircuitTopology, what: str) -> str:
+    from ..specs import SpecError
+
+    try:
+        return topology.circuit.to_spec().to_json(indent=None)
+    except SpecError as exc:
+        raise SimulationError(
+            f"{what} requires a spec-representable circuit ({exc}); register "
+            "the missing kind via repro.specs.register_channel_kind"
+        ) from exc
+
+
+def run_many_sharded(
+    circuit,
+    scenarios: Sequence[object],
+    *,
+    checkpoint=None,
+    backend: str = "auto",
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    retry=None,
+    chunk_timeout: Optional[float] = None,
+    on_chunk_failure: str = "raise",
+    on_causality: str = "error",
+    max_events: int = 1_000_000,
+    executor=None,
+    _sleep: Callable[[float], None] = _time.sleep,
+    _chaos: Optional[Dict[str, List[List[int]]]] = None,
+) -> "object":
+    """Execute a sweep in resilient, individually checkpointed chunks.
+
+    The fault-tolerant sibling of :func:`repro.engine.sweep.run_many`
+    (which delegates here whenever ``checkpoint``/``retry``/
+    ``chunk_timeout``/``on_chunk_failure`` is given or ``backend="auto"``).
+
+    Parameters
+    ----------
+    checkpoint:
+        :class:`~repro.store.ArtifactStore` or directory path.  Finished
+        chunks are written as content-keyed artifacts; chunks already in
+        the store are loaded instead of recomputed, bit-identically.
+    backend:
+        ``"auto"`` / ``"vector"`` dispatch each chunk to the vector
+        engine when it compiles and to the scalar engine otherwise
+        (fallback reasons aggregate into ``vector_report``); ``"process"``
+        does the same inside each pool worker; ``"sequential"`` pins the
+        scalar engine.  ``"thread"`` is accepted for drop-in
+        compatibility with ``run_many`` defaults but degrades to
+        sequential chunk execution (and rejects ``max_workers > 1``:
+        GIL-bound chunk threads would serialize anyway while muddying
+        failure attribution).
+    chunk_size:
+        Scenarios per chunk (default :data:`DEFAULT_CHUNK_SIZE`).  Part
+        of the checkpoint identity: resume with the size you ran with.
+    retry:
+        :class:`RetryPolicy`, total-attempt count, or ``None`` for the
+        default policy (3 attempts, 0.1 s exponential backoff).
+    chunk_timeout:
+        Per-attempt wall-clock budget in seconds.  Enforced by killing
+        and respawning the pool under ``backend="process"``; inline
+        executors cannot preempt a running chunk (a warning says so).
+    on_chunk_failure:
+        ``"raise"`` (default): quarantine failing chunks, finish their
+        siblings, then raise :class:`SweepFailedError` carrying the
+        report and the partial result.  ``"keep"``: return the surviving
+        runs with ``failure_report`` attached.
+    executor:
+        Override the chunk executor (an object with ``run_chunk(chunk,
+        attempt)``) -- the :class:`FaultInjector` hook.  Forces inline
+        (serial) orchestration.
+
+    Returns a :class:`~repro.engine.sweep.SweepResult` whose
+    ``shard_report`` records, per chunk, the backend that ran it, whether
+    it was resumed, and how many attempts it took.
+    """
+    from ..store import as_store
+    from .sweep import SweepResult
+
+    if backend not in ("auto", "vector", "sequential", "thread", "process"):
+        raise ValueError(
+            "sharded backend must be 'auto', 'vector', 'sequential', "
+            "'thread' or 'process'"
+        )
+    if on_chunk_failure not in ("raise", "keep"):
+        raise ValueError("on_chunk_failure must be 'raise' or 'keep'")
+    if backend == "thread" and max_workers is not None and max_workers > 1:
+        raise SimulationError(
+            "sharded sweeps do not support thread-parallel chunk execution "
+            "(GIL-bound chunks would serialize anyway); use backend='process' "
+            "for parallelism or backend='auto' for in-process dispatch"
+        )
+    topology = (
+        circuit if isinstance(circuit, CircuitTopology) else CircuitTopology(circuit)
+    )
+    scenarios = list(scenarios)
+    policy = as_retry_policy(retry)
+    size = int(chunk_size) if chunk_size else DEFAULT_CHUNK_SIZE
+    dispatch = backend in ("auto", "vector", "process")
+    use_process = backend == "process" and executor is None
+    if use_process and max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if chunk_timeout is not None and not use_process:
+        warnings.warn(
+            "chunk_timeout cannot preempt in-process chunk execution; use "
+            "backend='process' for enforced wall-clock timeouts",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    store = as_store(checkpoint) if checkpoint is not None else None
+    circuit_spec_json: Optional[str] = None
+    circuit_spec_dict: Optional[Dict[str, Any]] = None
+    if store is not None:
+        circuit_spec_json = _circuit_spec_or_raise(topology, "checkpoint=")
+        import json as _json
+
+        circuit_spec_dict = _json.loads(circuit_spec_json)
+        store.gc_tmp()
+    elif use_process:
+        circuit_spec_json = _circuit_spec_or_raise(topology, "backend='process'")
+
+    from ..specs import SpecError
+
+    try:
+        chunks = make_chunks(
+            scenarios,
+            size,
+            circuit_spec=circuit_spec_dict,
+            on_causality=on_causality,
+            max_events=max_events,
+        )
+    except SpecError as exc:
+        raise SimulationError(
+            "checkpoint= requires every scenario's channel overrides to be "
+            f"spec-representable so chunks can be content-keyed ({exc}); "
+            "drop checkpoint= or register the missing channel kind"
+        ) from exc
+
+    start = _time.perf_counter()
+    outcomes: Dict[int, _ChunkOutcome] = {}
+    records: Dict[int, ChunkRecord] = {}
+    failures: List[ChunkFailure] = []
+    writer = _CheckpointWriter(store) if store is not None else None
+
+    # -- resume: satisfy chunks from the checkpoint store ------------------- #
+    pending: List[SweepChunk] = []
+    for chunk in chunks:
+        outcome = None
+        if store is not None:
+            payload = store.get_payload(chunk.spec, fmt=CHUNK_FORMAT, key=chunk.key)
+            if payload is not None:
+                outcome = _decode_chunk_payload(topology, chunk, payload)
+        if outcome is None:
+            pending.append(chunk)
+        else:
+            outcomes[chunk.index] = outcome
+            records[chunk.index] = ChunkRecord(
+                index=chunk.index,
+                scenarios=len(chunk.scenarios),
+                backend=outcome.backend,
+                resumed=True,
+                attempts=0,
+                seconds=outcome.seconds,
+                vector_reasons=outcome.vector_reasons,
+                key=chunk.key,
+            )
+
+    def record_success(chunk: SweepChunk, outcome: _ChunkOutcome, attempts: int) -> None:
+        outcomes[chunk.index] = outcome
+        records[chunk.index] = ChunkRecord(
+            index=chunk.index,
+            scenarios=len(chunk.scenarios),
+            backend=outcome.backend,
+            resumed=False,
+            attempts=attempts,
+            seconds=outcome.seconds,
+            vector_reasons=outcome.vector_reasons,
+            key=chunk.key,
+        )
+        if writer is not None:
+            writer.submit(chunk, outcome)
+
+    # -- compute the remainder ---------------------------------------------- #
+    # The checkpoint writer thread must be drained and joined even when
+    # the compute phase dies (Ctrl-C, BrokenProcessPool escaping retry):
+    # chunks that finished before the interrupt stay durable.
+    try:
+        if pending and use_process:
+            runner = _ProcessChunkRunner(
+                circuit_spec_json,
+                on_causality=on_causality,
+                max_events=max_events,
+                dispatch=dispatch,
+                max_workers=max_workers,
+                chunk_timeout=chunk_timeout,
+                chaos=_chaos,
+            )
+
+            def on_success(
+                chunk: SweepChunk, payload: Dict[str, Any], attempts: int
+            ) -> None:
+                outcome = _decode_chunk_payload(topology, chunk, payload)
+                if outcome is None:  # a worker returned garbage: treat as failure
+                    failures.append(
+                        ChunkFailure(
+                            index=chunk.index,
+                            scenario_names=chunk.names,
+                            attempts=attempts,
+                            kind="exception",
+                            error="worker returned an undecodable chunk payload",
+                            error_type="ValueError",
+                            key=chunk.key,
+                        )
+                    )
+                    return
+                record_success(chunk, outcome, attempts)
+
+            runner.run(pending, policy, on_success, failures.append)
+        elif pending:
+            chunk_executor = executor
+            if chunk_executor is None:
+                chunk_executor = InlineChunkExecutor(
+                    topology,
+                    dispatch=dispatch,
+                    on_causality=on_causality,
+                    max_events=max_events,
+                )
+            for chunk in pending:
+                attempt = 0
+                outcome = None
+                last_exc: Optional[BaseException] = None
+                while attempt < policy.attempts:
+                    attempt += 1
+                    delay = policy.delay_before(attempt)
+                    if delay > 0:
+                        _sleep(delay)
+                    try:
+                        outcome = chunk_executor.run_chunk(chunk, attempt)
+                        break
+                    except Exception as exc:  # noqa: BLE001 - quarantine protocol
+                        # KeyboardInterrupt/SystemExit propagate: a dying sweep
+                        # keeps its checkpointed chunks and resumes later.
+                        last_exc = exc
+                if outcome is None:
+                    kind = (
+                        "timeout"
+                        if isinstance(last_exc, ChunkTimeoutError)
+                        else "crash"
+                        if isinstance(last_exc, WorkerCrashError)
+                        else "exception"
+                    )
+                    failures.append(
+                        ChunkFailure(
+                            index=chunk.index,
+                            scenario_names=chunk.names,
+                            attempts=attempt,
+                            kind=kind,
+                            error=str(last_exc) or repr(last_exc),
+                            error_type=type(last_exc).__name__,
+                            key=chunk.key,
+                        )
+                    )
+                else:
+                    record_success(chunk, outcome, attempt)
+    finally:
+        if writer is not None:
+            writer.close()
+    if writer is not None:
+        writer.raise_first()
+
+    # -- assemble ------------------------------------------------------------ #
+    ordered_records = tuple(records[i] for i in sorted(records))
+    shard_report = ShardReport(
+        chunk_size=size,
+        executor="process"
+        if use_process
+        else ("custom" if executor is not None else "inline"),
+        records=ordered_records,
+        failed=len(failures),
+    )
+    vector_report = None
+    if dispatch:
+        from .vector import VectorCapability
+
+        by_reason: Dict[str, List[int]] = {}
+        for record in ordered_records:
+            for reason in record.vector_reasons:
+                by_reason.setdefault(reason, []).append(record.index)
+        if by_reason:
+            reasons = tuple(
+                f"{reason} [chunk(s) {', '.join(map(str, indices))}]"
+                for reason, indices in sorted(by_reason.items())
+            )
+            vector_report = VectorCapability(False, reasons)
+            fell_back = sum(1 for r in ordered_records if r.backend != "vector")
+            warnings.warn(
+                f"sharded sweep: {fell_back} of {len(chunks)} chunk(s) fell "
+                f"back to the scalar engine ({'; '.join(reasons)})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            vector_report = VectorCapability(True)
+
+    used = sorted({r.backend for r in ordered_records})
+    inner = "+".join(used) if used else "none"
+    label = f"sharded(process:{inner})" if use_process else f"sharded({inner})"
+    runs = [
+        run for index in sorted(outcomes) for run in outcomes[index].runs
+    ]
+    failure_report = SweepFailureReport(tuple(failures)) if failures else None
+    result = SweepResult(
+        topology=topology,
+        runs=runs,
+        total_seconds=_time.perf_counter() - start,
+        backend=label,
+        vector_report=vector_report,
+        failure_report=failure_report,
+        shard_report=shard_report,
+    )
+    if failures and on_chunk_failure == "raise":
+        raise SweepFailedError(failure_report, result)
+    return result

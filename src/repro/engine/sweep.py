@@ -68,6 +68,17 @@ class Scenario:
         not listed keep the circuit's base channel.
     metadata:
         Free-form parameters riding along (swept values, seeds, ...).
+    fingerprint:
+        Optional precomputed computation-relevant canonical JSON of this
+        scenario, exactly as :func:`repro.engine.shard.scenario_fingerprint`
+        would derive it from the live objects.  Scenario *producers* that
+        know their structure (:func:`eta_monte_carlo` varies only the
+        adversary seed between runs) fill this in so checkpointed sweeps
+        key their chunks without re-deriving channel specs per scenario;
+        leave ``None`` for hand-built scenarios.  Excluded from equality
+        (it is a cache, not state) -- and it must never disagree with the
+        derived form, which ``tests/engine/test_shard.py`` pins for the
+        built-in producers.
     """
 
     name: str
@@ -75,6 +86,9 @@ class Scenario:
     end_time: float
     channels: Optional[Dict[str, object]] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    fingerprint: Optional[Dict[str, object]] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -94,6 +108,14 @@ class SweepResult:
     which differs from the requested one when ``backend="vector"`` fell
     back to the scalar path; ``vector_report`` then carries the
     :class:`~repro.engine.vector.VectorCapability` explaining why.
+
+    Sharded sweeps (``backend="auto"``, or any of
+    ``checkpoint``/``retry``/``chunk_timeout``/``on_chunk_failure``)
+    additionally attach a :class:`~repro.engine.shard.ShardReport` as
+    ``shard_report`` (per-chunk backends, resumed-vs-computed counts,
+    attempts) and -- when chunks were quarantined under
+    ``on_chunk_failure="keep"`` -- a
+    :class:`~repro.engine.shard.SweepFailureReport` as ``failure_report``.
     """
 
     topology: CircuitTopology
@@ -101,6 +123,8 @@ class SweepResult:
     total_seconds: float
     backend: Optional[str] = None
     vector_report: Optional[object] = None
+    failure_report: Optional[object] = None
+    shard_report: Optional[object] = None
 
     @property
     def executions(self) -> List[Execution]:
@@ -276,6 +300,10 @@ def run_many(
     max_workers: Optional[int] = None,
     backend: str = "thread",
     chunk_size: Optional[int] = None,
+    checkpoint=None,
+    retry=None,
+    chunk_timeout: Optional[float] = None,
+    on_chunk_failure: Optional[str] = None,
 ) -> SweepResult:
     """Execute every scenario against one shared, precomputed topology.
 
@@ -327,10 +355,47 @@ def run_many(
     run, so no RNG state leaks across runs or workers.  The equivalence
     tests in ``tests/engine/test_sweep.py`` and
     ``tests/engine/test_vector.py`` pin this.
+
+    Fault tolerance: ``backend="auto"``, or any of ``checkpoint=`` (an
+    :class:`~repro.store.ArtifactStore` or directory path), ``retry=``,
+    ``chunk_timeout=`` or ``on_chunk_failure=``, routes the sweep through
+    the resilient sharded runner
+    (:func:`repro.engine.shard.run_many_sharded`): scenarios split into
+    deterministic spec-keyed chunks that are individually checkpointed,
+    retried with exponential backoff, quarantined when poisonous, and
+    dispatched per-chunk between the vector and scalar engines.  In
+    sharded mode ``chunk_size`` means scenarios per chunk (default
+    :data:`~repro.engine.shard.DEFAULT_CHUNK_SIZE`) and is part of the
+    checkpoint identity.  See :mod:`repro.engine.shard` and
+    ``docs/resilience.md`` for the full semantics.
     """
+    sharded = (
+        backend == "auto"
+        or checkpoint is not None
+        or retry is not None
+        or chunk_timeout is not None
+        or on_chunk_failure is not None
+    )
+    if sharded:
+        from .shard import run_many_sharded
+
+        return run_many_sharded(
+            circuit,
+            scenarios,
+            checkpoint=checkpoint,
+            backend=backend,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            retry=retry,
+            chunk_timeout=chunk_timeout,
+            on_chunk_failure=on_chunk_failure or "raise",
+            on_causality=on_causality,
+            max_events=max_events,
+        )
     if backend not in ("sequential", "thread", "process", "vector"):
         raise ValueError(
-            "backend must be 'sequential', 'thread', 'process' or 'vector'"
+            "backend must be 'auto', 'sequential', 'thread', 'process' "
+            "or 'vector'"
         )
     if backend == "process" and max_workers is None:
         # An explicitly requested process backend means "use the cores":
@@ -489,6 +554,38 @@ def eta_monte_carlo(
     ]
     seed_seq = np.random.SeedSequence(seed)
     children = seed_seq.spawn(n_runs)
+
+    # Precompute the per-scenario checkpoint fingerprints (see
+    # Scenario.fingerprint): between runs only the adversary seed varies,
+    # so the expensive part -- deriving each edge channel's spec dict --
+    # happens once per edge instead of once per (run, edge).  The
+    # fingerprint format keeps seeds in a separate ``channel_seeds``
+    # entry, so the whole seed-free channel table (and the inputs table)
+    # is one shared dict aliased by every run's fingerprint and treated
+    # as immutable -- chunk keying then pools it once per chunk.
+    # Circuits with unspeccable channels simply skip fingerprinting;
+    # checkpointed sweeps then derive (or reject) through the generic
+    # path.
+    inputs_fp = base_fp = None
+    try:
+        from ..io.netlist import signal_to_dict
+        from ..specs import ChannelSpec, SpecError, _seed_to_json
+
+        inputs_fp = {
+            port: signal_to_dict(signal) for port, signal in sorted(inputs.items())
+        }
+        base_fp = {}
+        for ename, edge in eta_edges:
+            ch = ChannelSpec.from_channel(
+                edge.channel.with_adversary(RandomAdversary(seed=seed_seq))
+            ).to_dict()
+            adversary = dict(ch["adversary"])
+            adversary.pop("seed", None)
+            ch["adversary"] = adversary
+            base_fp[ename] = ch
+    except SpecError:
+        inputs_fp = base_fp = None
+
     scenarios: List[Scenario] = []
     for run_index in range(n_runs):
         edge_seeds = children[run_index].spawn(len(eta_edges))
@@ -498,6 +595,15 @@ def eta_monte_carlo(
             ename: edge.channel.with_adversary(RandomAdversary(seed=edge_seeds[k]))
             for k, (ename, edge) in enumerate(eta_edges)
         }
+        fingerprint = None
+        if base_fp is not None:
+            fingerprint = {"end_time": float(end_time), "inputs": inputs_fp}
+            if base_fp:
+                fingerprint["channels"] = base_fp
+                fingerprint["channel_seeds"] = {
+                    ename: _seed_to_json(edge_seeds[k])
+                    for k, (ename, edge) in enumerate(eta_edges)
+                }
         scenarios.append(
             Scenario(
                 name=f"{name}[{run_index}]",
@@ -505,6 +611,7 @@ def eta_monte_carlo(
                 end_time=end_time,
                 channels=overrides,
                 metadata={"run_index": run_index, "seed": seed},
+                fingerprint=fingerprint,
             )
         )
     return scenarios

@@ -1075,7 +1075,8 @@ class VectorProgram:
             if pattern is None:
                 pattern = [(matrix.initial ^ ((i + 1) & 1)) for i in range(count)]
                 value_patterns[key] = pattern
-            row = matrix.times[s, :count].tolist()
+            row_times = matrix.times[s, :count]
+            row = row_times.tolist()
             transitions = []
             append = transitions.append
             for t, v in zip(row, pattern):
@@ -1083,7 +1084,13 @@ class VectorProgram:
                 set_attr(transition, "time", t)
                 set_attr(transition, "value", v)
                 append(transition)
-            return Signal._trusted(matrix.initial, transitions)
+            signal = Signal._trusted(matrix.initial, transitions)
+            # Prefill the packed-times cache straight from the result
+            # matrix (the same float64 bits tolist() just expanded):
+            # pickling to the parent process and checkpoint encoding
+            # then skip re-packing a million transitions one by one.
+            signal._packed_times = row_times.tobytes()
+            return signal
 
         runs: List[object] = []
         for s, scenario in enumerate(scenarios):

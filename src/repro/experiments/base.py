@@ -69,12 +69,22 @@ class ExperimentContext:
     kinds that execute sweeps record the backend that *actually* ran
     under ``"backend_executed"`` (a vector request may have fallen back),
     so cached artifacts never claim an execution strategy that never
-    happened.
+    happened.  Kinds whose sweeps run sharded additionally record
+    ``"chunks_computed"``/``"chunks_resumed"`` from the sweep's
+    :class:`~repro.engine.shard.ShardReport`.
+
+    ``checkpoint`` (an :class:`~repro.store.ArtifactStore` or directory
+    path, or ``None``) asks sweep-driven kinds to checkpoint their
+    internal sweeps chunk-by-chunk via
+    :func:`repro.engine.shard.run_many_sharded` -- result-neutral like
+    the other knobs (resume is bit-identical), hence excluded from the
+    artifact key.
     """
 
     backend: str = "sequential"
     max_workers: Optional[int] = None
     observed: Dict[str, Any] = field(default_factory=dict, compare=False)
+    checkpoint: Optional[object] = field(default=None, compare=False)
 
 
 @dataclass
@@ -277,6 +287,12 @@ def _provenance(
         # defaulting to the *requested* backend would claim an execution
         # strategy that never ran.
         "backend_executed": context.observed.get("backend_executed"),
+        # Recorded by kinds whose sweeps ran sharded (checkpoint= or
+        # backend="auto"): how many chunks were computed fresh vs
+        # satisfied from the checkpoint store; null when no sharded
+        # sweep ran.
+        "chunks_computed": context.observed.get("chunks_computed"),
+        "chunks_resumed": context.observed.get("chunks_resumed"),
         "max_workers": context.max_workers,
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
@@ -294,6 +310,7 @@ def run_experiment(
     max_workers: Optional[int] = None,
     cache: Optional[object] = None,
     force: bool = False,
+    checkpoint: Optional[object] = None,
 ) -> ExperimentResult:
     """Run a declarative experiment and return its provenance-carrying result.
 
@@ -305,6 +322,10 @@ def run_experiment(
     content-addressed artifact store: a stored result for the identical
     resolved spec is returned directly with ``from_cache=True`` (unless
     ``force``), and fresh results are stored on the way out.
+    ``checkpoint`` plumbs a chunk-checkpoint store into the experiment's
+    internal sweeps (kinds that support it; see
+    :class:`ExperimentContext`) -- finer-grained than ``cache``: the
+    cache resumes whole experiments, the checkpoint resumes *mid-sweep*.
     """
     resolved = as_experiment_spec(spec, params).resolved()
     store = None
@@ -318,7 +339,9 @@ def run_experiment(
                 hit.from_cache = True
                 return hit
     info = get_experiment_kind(resolved.kind)
-    context = ExperimentContext(backend=backend, max_workers=max_workers)
+    context = ExperimentContext(
+        backend=backend, max_workers=max_workers, checkpoint=checkpoint
+    )
     start = time.perf_counter()
     outcome = info.runner(dict(resolved.params), context)
     wall_time_s = time.perf_counter() - start

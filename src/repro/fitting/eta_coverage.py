@@ -183,6 +183,7 @@ def _simulated_eta_coverage(
     backend: str = "thread",
     label: str = "eta-monte-carlo",
     observed: Optional[Dict[str, object]] = None,
+    checkpoint=None,
 ) -> DeviationAnalysis:
     """Monte Carlo coverage check on the event-driven engine.
 
@@ -238,11 +239,22 @@ def _simulated_eta_coverage(
 
     topology = CircuitTopology(circuit)
     scenarios = eta_monte_carlo(circuit, inputs, end_time, n_runs, seed=seed)
-    sweep = run_many(topology, scenarios, max_workers=max_workers, backend=backend)
+    sweep = run_many(
+        topology,
+        scenarios,
+        max_workers=max_workers,
+        backend=backend,
+        checkpoint=checkpoint,
+    )
     if observed is not None:
         # Provenance records the strategy that actually ran (a vector
         # request may have fallen back for unvectorizable channels).
         observed["backend_executed"] = sweep.backend or backend
+        if sweep.shard_report is not None:
+            # Sharded sweeps (checkpoint= or backend="auto") also report
+            # how much of the work was resumed from the checkpoint store.
+            observed["chunks_computed"] = sweep.shard_report.computed
+            observed["chunks_resumed"] = sweep.shard_report.resumed
 
     samples: List[DeviationSample] = []
     eta_edges = [
@@ -353,6 +365,7 @@ def _eta_coverage_experiment(params: dict, context):
         max_workers=context.max_workers,
         label=params["label"],
         observed=context.observed,
+        checkpoint=getattr(context, "checkpoint", None),
     )
     return ExperimentOutcome(
         rows=[analysis.summary()],

@@ -167,19 +167,31 @@ class Spec:
         merged.update(kw)
         object.__setattr__(self, "kind", str(kind))
         object.__setattr__(self, "params", _jsonify(merged))
-        object.__setattr__(
-            self, "_key", _canonical_key({"kind": self.kind, "params": self.params})
-        )
+        # The canonical key only matters for equality/hashing; computing it
+        # eagerly would put a json.dumps on every construction, which the
+        # sharded sweep layer pays per (scenario, edge) when fingerprinting
+        # chunks.  Computed on first use instead (see _canonical).
+        object.__setattr__(self, "_key", None)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def _canonical(self) -> str:
+        key = self._key
+        if key is None:
+            key = _canonical_key({"kind": self.kind, "params": self.params})
+            object.__setattr__(self, "_key", key)
+        return key
 
     # -- serialisation --------------------------------------------------- #
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form ``{"kind": ..., **params}`` (JSON-compatible)."""
         out = {"kind": self.kind}
-        out.update(json.loads(_canonical_key(self.params)))
+        # _jsonify deep-copies the (already canonicalised) params, so
+        # callers can mutate the result freely -- and skips the JSON
+        # dumps/loads round-trip this used to pay for the same copy.
+        out.update(_jsonify(self.params))
         return out
 
     @classmethod
@@ -204,10 +216,10 @@ class Spec:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Spec):
             return NotImplemented
-        return type(self) is type(other) and self._key == other._key
+        return type(self) is type(other) and self._canonical() == other._canonical()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key))
+        return hash((type(self).__name__, self._canonical()))
 
     def __repr__(self) -> str:
         params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
@@ -1156,7 +1168,7 @@ class ExperimentSpec(Spec):
         resolved = ExperimentSpec(self.kind, merged)
         # Plain dict equality would call 200 == 200.0 equal; the canonical
         # JSON key is what hashing/caching use, so compare that instead.
-        return self if resolved._key == self._key else resolved
+        return self if resolved._canonical() == self._canonical() else resolved
 
     def run(self, **kwargs):
         """Run this experiment (delegate to :func:`repro.experiments.run_experiment`)."""

@@ -96,6 +96,130 @@ class TestPutGet:
         assert len(store) == 0
 
 
+class TestAtomicWrites:
+    def test_tmp_names_are_unique_per_write(self, store, result):
+        path = store.path_for(result.spec)
+        names = {store._tmp_for(path).name for _ in range(32)}
+        assert len(names) == 32
+        assert all(not name.endswith(".json") for name in names)
+
+    def test_failed_write_leaves_no_tmp_file(self, store, result, monkeypatch):
+        # Force the rename step to fail: the temp file must be cleaned up.
+        from pathlib import Path
+
+        def boom(self, target):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Path, "replace", boom)
+        with pytest.raises(OSError):
+            store.put(result)
+        monkeypatch.undo()
+        leftovers = list(store.root.rglob("*.tmp-*"))
+        assert leftovers == []
+
+    def test_gc_tmp_removes_only_stale_files(self, store, result):
+        import os
+        import time
+
+        path = store.put(result)
+        stale = path.with_name(path.name + ".tmp-123-deadbeef")
+        fresh = path.with_name(path.name + ".tmp-456-cafebabe")
+        stale.write_text("{")
+        fresh.write_text("{")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        assert store.gc_tmp(max_age_s=3600.0) == 1
+        assert not stale.exists()
+        assert fresh.exists()  # a live writer's in-flight file is never raced
+        assert path.exists()  # real artifacts are untouched
+
+    def test_gc_tmp_on_missing_root(self, tmp_path):
+        assert ArtifactStore(tmp_path / "never-created").gc_tmp() == 0
+
+    def test_clear_prunes_empty_shard_subdirs(self, store, result):
+        path = store.put(result)
+        shard_dir = path.parent
+        assert store.clear() == 1
+        assert not shard_dir.exists()
+        assert store.root.exists()  # the root itself stays
+
+    def test_clear_keeps_subdirs_holding_tmp_litter(self, store, result):
+        path = store.put(result)
+        litter = path.with_name(path.name + ".tmp-1-aaaaaaaa")
+        litter.write_text("{")
+        store.clear()
+        assert path.parent.exists()  # not empty: the stale tmp is still there
+        assert litter.exists()
+
+
+class TestDamagedArtifactWarnings:
+    def test_put_over_truncated_artifact_warns_with_path(self, store, result):
+        path = store.put(result)
+        path.write_text(path.read_text()[:40])
+        with pytest.warns(RuntimeWarning, match=str(path)):
+            store.put(result)
+        assert store.get(result.spec) == result  # repaired
+
+    def test_put_over_hand_edited_spec_warns(self, store, result):
+        path = store.put(result)
+        data = json.loads(path.read_text())
+        data["spec"]["eta_plus_values"] = [0.999]
+        path.write_text(json.dumps(data))
+        with pytest.warns(RuntimeWarning, match="spec does not match"):
+            store.put(result)
+
+    def test_put_over_healthy_artifact_does_not_warn(self, store, result):
+        import warnings
+
+        store.put(result)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store.put(result)
+
+    def test_cache_rerun_repairs_and_warns(self, store, result):
+        path = store.put(result)
+        path.write_text("not json at all")
+        with pytest.warns(RuntimeWarning, match="unparseable"):
+            repaired = run_experiment(result.spec, cache=store)
+        assert not repaired.from_cache
+        assert store.get(result.spec) == result
+
+
+class TestPayloads:
+    SPEC = {"kind": "sweep_chunk", "n": 1}
+
+    def test_round_trip(self, store):
+        payload = {"runs": [1, 2, 3], "backend": "vector"}
+        path = store.put_payload(self.SPEC, payload, fmt="test-chunk")
+        assert path.exists()
+        assert store.get_payload(self.SPEC, fmt="test-chunk") == payload
+
+    def test_format_mismatch_is_a_miss(self, store):
+        store.put_payload(self.SPEC, {"x": 1}, fmt="test-chunk")
+        assert store.get_payload(self.SPEC, fmt="other-format") is None
+
+    def test_spec_mismatch_is_a_miss(self, store):
+        path = store.put_payload(self.SPEC, {"x": 1}, fmt="test-chunk")
+        data = json.loads(path.read_text())
+        data["spec"] = {"kind": "sweep_chunk", "n": 999}
+        path.write_text(json.dumps(data))
+        assert store.get_payload(self.SPEC, fmt="test-chunk") is None
+
+    def test_torn_payload_is_a_miss(self, store):
+        path = store.put_payload(self.SPEC, {"x": 1}, fmt="test-chunk")
+        path.write_text(path.read_text()[:10])
+        assert store.get_payload(self.SPEC, fmt="test-chunk") is None
+
+    def test_missing_payload_is_a_miss(self, store):
+        assert store.get_payload(self.SPEC, fmt="test-chunk") is None
+
+    def test_payloads_and_results_share_the_keyspace(self, store, result):
+        # A payload stored under a result's spec occupies the same path --
+        # and the format tag is what keeps get() from confusing them.
+        store.put_payload(result.spec.to_dict(), {"x": 1}, fmt="test-chunk")
+        assert store.get(result.spec) is None
+
+
 class TestCoercion:
     def test_as_store(self, tmp_path, store):
         assert as_store(store) is store

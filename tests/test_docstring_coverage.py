@@ -30,6 +30,7 @@ ENFORCED = [
     SRC / "store.py",
     SRC / "engine" / "sweep.py",
     SRC / "engine" / "vector.py",
+    SRC / "engine" / "shard.py",
     SRC / "engine" / "__init__.py",
 ]
 
