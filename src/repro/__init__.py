@@ -83,7 +83,7 @@ from .core import (
     satisfies_constraint_C,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # The spec/api layer is exported lazily (PEP 562): `repro.api` pulls in the
 # engine's scheduler/sweep modules, which must not load as a side effect of

@@ -43,17 +43,45 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 from .core.transitions import Signal
 from .engine.scheduler import CircuitTopology, Execution
 from .engine.sweep import Scenario, SweepResult, eta_monte_carlo, run_many
-from .specs import CircuitSpec, as_circuit
+from .specs import as_circuit
 
 __all__ = [
     "build",
     "load",
+    "lint",
     "simulate",
     "sweep",
     "monte_carlo",
     "experiment",
     "experiments",
 ]
+
+
+def lint(obj, *, source: Optional[str] = None):
+    """Statically lint a netlist, spec, or experiment definition.
+
+    Accepts everything :func:`build` and :func:`experiment` accept --
+    netlist file paths, netlist/circuit-spec/experiment-spec dicts, live
+    ``CircuitSpec`` / ``ExperimentSpec`` / ``Netlist`` / circuit objects
+    -- and returns a :class:`repro.lint.LintReport` of structured
+    :class:`repro.lint.Diagnostic` records (rule code, severity, message,
+    JSON path).  See ``docs/linting.md`` for the rule catalogue; the
+    ``repro lint`` CLI subcommand wraps this with text/JSON output and
+    exit-code semantics.
+    """
+    from .lint import lint as _lint
+
+    return _lint(obj, source=source)
+
+
+def _validate_or_raise(obj) -> None:
+    """Lint ``obj`` and raise :class:`repro.lint.LintError` on errors."""
+    from .lint import LintError
+    from .lint import lint as _lint
+
+    report = _lint(obj)
+    if not report.ok:
+        raise LintError(report)
 
 
 def load(path: Union[str, Path]):
@@ -92,14 +120,19 @@ def simulate(
     *,
     on_causality: str = "error",
     max_events: int = 1_000_000,
+    validate: bool = False,
 ) -> Execution:
     """Run one event-driven execution of a circuit or spec.
 
     ``inputs`` maps input-port names to :class:`Signal` objects or signal
     dicts (see :func:`repro.io.netlist.signal_from_dict`).
+    ``validate=True`` lints the circuit first (see :func:`lint`) and
+    raises :class:`repro.lint.LintError` on any error-severity finding.
     """
     from .circuits.simulator import simulate as _simulate
 
+    if validate:
+        _validate_or_raise(spec_or_circuit)
     return _simulate(
         build(spec_or_circuit),
         _coerce_inputs(inputs),
@@ -122,6 +155,7 @@ def sweep(
     retry=None,
     chunk_timeout: Optional[float] = None,
     on_chunk_failure: Optional[str] = None,
+    validate: bool = False,
 ) -> SweepResult:
     """Run a scenario family through the batched sweep runner.
 
@@ -141,8 +175,15 @@ def sweep(
     (:func:`repro.engine.shard.run_many_sharded`): chunked spec-keyed
     checkpointing with crash-safe resume, retry with exponential backoff,
     poison-chunk quarantine, and per-chunk vector/scalar dispatch.
+
+    ``validate=True`` lints the circuit first (see :func:`lint`; prebuilt
+    :class:`CircuitTopology` instances are exempt -- they were built from
+    an already-validated circuit) and raises
+    :class:`repro.lint.LintError` on any error-severity finding.
     """
     if not isinstance(spec_or_circuit, CircuitTopology):
+        if validate:
+            _validate_or_raise(spec_or_circuit)
         spec_or_circuit = build(spec_or_circuit)
     return run_many(
         spec_or_circuit,
@@ -190,6 +231,7 @@ def experiment(
     cache=None,
     force: bool = False,
     checkpoint=None,
+    validate: bool = False,
 ):
     """Run a registered experiment kind and return its ExperimentResult.
 
@@ -202,9 +244,18 @@ def experiment(
     support it, e.g. ``eta_coverage``), so a killed run resumes mid-sweep
     rather than recomputing from scratch; provenance records the
     chunks-computed/chunks-resumed split.
+
+    ``validate=True`` lints the experiment spec first (see :func:`lint`)
+    and raises :class:`repro.lint.LintError` on any error-severity
+    finding.
     """
     from .experiments.base import run_experiment
 
+    if validate:
+        if isinstance(spec_or_kind, str):
+            _validate_or_raise({"kind": spec_or_kind, **dict(params or {})})
+        else:
+            _validate_or_raise(spec_or_kind)
     return run_experiment(
         spec_or_kind,
         params,

@@ -20,8 +20,8 @@ The circuit is a plain data structure; execution lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import networkx as nx
 

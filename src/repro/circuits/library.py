@@ -17,7 +17,7 @@ eta-involution delay models either way.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Union
 
 from ..core.channel import Channel
 from .circuit import Circuit

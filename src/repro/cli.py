@@ -1,10 +1,18 @@
 """Command-line interface: run circuits and experiments from the shell.
 
 Installed as the ``repro`` console script and reachable as
-``python -m repro``.  Five subcommands:
+``python -m repro``.  Six subcommands:
 
 ``info NETLIST``
     Validate the netlist and print a structural summary.
+``lint PATH [PATH ...]``
+    Statically lint netlists, circuit specs, or experiment specs
+    (:mod:`repro.lint`) without running anything: structural defects,
+    unknown/out-of-domain parameters, zero-delay cycles, determinism
+    hazards, and predicted vector-backend fallbacks.  ``-`` reads one
+    JSON document from stdin; ``--json`` emits machine-readable reports.
+    Exit code 0 = no error-severity findings, 1 = error findings,
+    2 = unreadable input.
 ``simulate NETLIST``
     One event-driven execution; stimulus comes from the netlist's
     ``inputs``/``end_time`` defaults, overridable with ``--pulse`` /
@@ -32,6 +40,7 @@ Installed as the ``repro`` console script and reachable as
 
 Examples::
 
+    python -m repro lint examples/netlists/*.json
     python -m repro simulate examples/netlists/inverter_chain.json
     python -m repro sweep examples/netlists/inverter_chain.json --runs 50 \
         --backend process --workers 4
@@ -70,6 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="validate a netlist and print its summary")
     info.add_argument("netlist", help="netlist JSON file")
+
+    lint = sub.add_parser(
+        "lint", help="statically lint netlists, circuit specs, or experiment specs"
+    )
+    lint.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="JSON document (netlist, circuit spec, or experiment spec); "
+        "'-' reads one document from stdin",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (one object per input)",
+    )
 
     simulate = sub.add_parser("simulate", help="run one event-driven execution")
     simulate.add_argument("netlist", help="netlist JSON file")
@@ -301,6 +323,37 @@ def _cmd_info(args) -> int:
     if netlist.end_time is not None:
         print(f"  default end_time: {netlist.end_time:g}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .lint import lint as run_lint
+    from .lint import lint_path
+    from .specs import SpecError
+
+    reports = []
+    for path in args.paths:
+        try:
+            if path == "-":
+                text = sys.stdin.read()
+                try:
+                    data = json.loads(text)
+                except json.JSONDecodeError as exc:
+                    raise SpecError(f"<stdin>: not valid JSON ({exc})") from exc
+                if not isinstance(data, dict):
+                    raise SpecError("<stdin>: top-level JSON value is not an object")
+                reports.append(run_lint(data, source="<stdin>"))
+            else:
+                reports.append(lint_path(path))
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        payload = [report.to_dict() for report in reports]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render())
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def _cmd_simulate(args) -> int:
@@ -657,6 +710,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "info": _cmd_info,
+        "lint": _cmd_lint,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
         "export": _cmd_export,

@@ -28,7 +28,7 @@ the paper's proofs and experiments:
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 import numpy as np
 

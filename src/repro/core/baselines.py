@@ -21,7 +21,7 @@ comparison (who filters which glitch trains, and how fast).
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 from .channel import Channel
 from .transitions import Signal, Transition

@@ -22,7 +22,7 @@ functions via the involution property).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 from scipy import optimize

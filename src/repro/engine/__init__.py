@@ -15,6 +15,11 @@ Three layers, each usable on its own:
   sampling (:func:`eta_monte_carlo`) and sequential/thread/process/vector
   backends (process workers receive the circuit as declarative
   :class:`repro.specs.CircuitSpec` JSON, never as a pickle),
+* :mod:`repro.engine.capability` -- the static obstacle analyzer
+  (:func:`~repro.engine.capability.analyze_sweep`) deciding which sweeps
+  the vector backend can express, shared verbatim with the
+  :mod:`repro.lint` fallback prediction so the linter and the runtime
+  can never disagree,
 * :mod:`repro.engine.vector` -- the NumPy-vectorized batch backend:
   feed-forward sweeps compiled into dense per-scenario arrays and
   evaluated for all scenarios simultaneously, bit-identical to the

@@ -60,6 +60,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.transitions import Signal, Transition
+from .capability import (
+    EdgeFact,
+    VectorCapability,
+    adversary_obstacle,
+    analyze_sweep,
+)
 from .errors import CausalityError, SimulationError
 from .scheduler import CircuitTopology, Execution, _NODE_GATE, _NODE_OUTPUT
 
@@ -79,29 +85,10 @@ _NEG_INF = -math.inf
 # --------------------------------------------------------------------------- #
 # Capability reporting
 # --------------------------------------------------------------------------- #
-
-
-@dataclass(frozen=True)
-class VectorCapability:
-    """Why a sweep can (or cannot) run on the vector backend.
-
-    ``supported`` is True iff the sweep compiles; ``reasons`` lists every
-    obstacle found (empty when supported).  The report is attached to
-    :class:`~repro.engine.sweep.SweepResult` as ``vector_report`` so a
-    fallback is never silent.
-    """
-
-    supported: bool
-    reasons: Tuple[str, ...] = ()
-
-    def __bool__(self) -> bool:
-        return self.supported
-
-    def summary(self) -> str:
-        """One-line human-readable form of the report."""
-        if self.supported:
-            return "vector backend: supported"
-        return "vector backend unsupported: " + "; ".join(self.reasons)
+# The obstacle detection itself lives in :mod:`repro.engine.capability`
+# (shared with the static linter); :class:`VectorCapability` is re-exported
+# from there so ``from repro.engine.vector import VectorCapability`` keeps
+# working.
 
 
 class VectorUnsupportedError(SimulationError):
@@ -237,8 +224,14 @@ def _degradation_fn(channel):
 # scalar per-transition draws do.
 
 
-def _eta_builder(channel, where: str, reasons: List[str]):
-    """Build ``(times, rising) -> shifts`` for one eta channel, or record why not."""
+def _eta_builder(channel, where: str):
+    """Build ``(times, rising) -> shifts`` for one eta channel.
+
+    The shared analyzer (:func:`repro.engine.capability.adversary_obstacle`)
+    rejects every adversary this builder cannot express before compilation
+    reaches it; an obstacle surfacing here means the two fell out of sync,
+    so the builder raises rather than miscompiling.
+    """
     from ..core.adversary import (
         BestCaseAdversary,
         DeCancelAdversary,
@@ -250,6 +243,11 @@ def _eta_builder(channel, where: str, reasons: List[str]):
     )
 
     adversary = channel.adversary
+    obstacle = adversary_obstacle(adversary)
+    if obstacle is not None:
+        raise VectorUnsupportedError(
+            VectorCapability(False, (f"{where}: {obstacle}",))
+        )
     bound = channel.eta
     eta_plus = bound.eta_plus
     eta_minus = bound.eta_minus
@@ -263,12 +261,6 @@ def _eta_builder(channel, where: str, reasons: List[str]):
         return lambda times, rising: np.where(rising, -eta_minus, eta_plus)
     if kind is RandomAdversary:
         seed = adversary._seed
-        if seed is None:
-            reasons.append(
-                f"{where}: RandomAdversary without a seed draws fresh entropy "
-                "per run and cannot be replayed bit-identically"
-            )
-            return None
         distribution = adversary.distribution
         sigma = adversary.sigma_fraction * bound.width / 2.0
 
@@ -322,8 +314,9 @@ def _eta_builder(channel, where: str, reasons: List[str]):
             return out
 
         return sequence_shifts
-    reasons.append(f"{where}: unsupported adversary {kind.__name__}")
-    return None
+    raise SimulationError(
+        f"{where}: no vector builder for adversary {kind.__name__}"
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -379,96 +372,46 @@ def _cached_polarity_fn(cache: Dict, delta, inf_limit: float, low: float, mode: 
 
 
 def _compile_edge(
-    eid: int,
+    fact: EdgeFact,
     ename: str,
-    topo: CircuitTopology,
     run_channels: List[object],
-    reasons: List[str],
     fn_cache: Dict,
-) -> Optional[_EdgeProgram]:
-    """Compile one edge's per-scenario channels, or record why it cannot be."""
+) -> _EdgeProgram:
+    """Build one edge's compiled program from its analyzer fact.
+
+    The shared analyzer (:func:`repro.engine.capability.analyze_sweep`)
+    has already vetted ``run_channels`` -- supported classes only, no
+    same-instant hazards, scenario-uniform zero-delay/inverting flags --
+    so this is pure construction and cannot fail.
+    """
     from ..core.baselines import (
         DegradationDelayChannel,
         InertialDelayChannel,
         PureDelayChannel,
     )
-    from ..core.channel import ZeroDelayChannel
     from ..core.eta_channel import EtaInvolutionChannel
     from ..core.involution_channel import InvolutionChannel
 
     S = len(run_channels)
-    before = len(reasons)
-    kinds = {type(ch) for ch in run_channels}
-    supported = {
-        ZeroDelayChannel,
-        PureDelayChannel,
-        InertialDelayChannel,
-        DegradationDelayChannel,
-        InvolutionChannel,
-        EtaInvolutionChannel,
-    }
-    for kind in sorted(kinds - supported, key=lambda k: k.__name__):
-        reasons.append(f"edge {ename!r}: unsupported channel type {kind.__name__}")
-    if len(reasons) > before:
-        return None
-
-    for channel in run_channels:
-        # Constant channels with a zero polarity delay schedule every
-        # delivery at its own input instant; the engine then opens a
-        # second batch at the same timestamp (double gate evaluation,
-        # glitch feeds) that a levelized evaluation cannot replay.
-        if type(channel) is PureDelayChannel and (
-            channel.rising_delay == 0.0 or channel.falling_delay == 0.0
-        ):
-            reasons.append(
-                f"edge {ename!r}: PureDelayChannel with a zero polarity "
-                "delay schedules same-instant deliveries"
-            )
-            return None
-        if type(channel) is InertialDelayChannel and channel.delay == 0.0:
-            reasons.append(
-                f"edge {ename!r}: InertialDelayChannel with zero delay "
-                "schedules same-instant deliveries"
-            )
-            return None
-
-    zero_flags = {type(ch) is ZeroDelayChannel for ch in run_channels}
-    if len(zero_flags) > 1:
-        reasons.append(
-            f"edge {ename!r}: mixes zero-delay and timed channels across scenarios"
-        )
-        return None
-    inverting_flags = {bool(ch.inverting) for ch in run_channels}
-    if len(inverting_flags) > 1:
-        reasons.append(
-            f"edge {ename!r}: channel inverting flag differs across scenarios"
-        )
-        return None
-    inverting = inverting_flags.pop()
-    target_id = topo.edge_target_id[eid]
-    target_is_gate = topo.node_kind[target_id] == _NODE_GATE
-    target_multi_input = (
-        target_is_gate and len(topo.gate_input_edge_ids[target_id]) > 1
-    )
-    if zero_flags.pop():
+    if fact.zero_delay:
         return _EdgeProgram(
-            eid=eid,
+            eid=fact.eid,
             name=ename,
-            source_id=topo.edge_source_id[eid],
+            source_id=fact.source_id,
             zero_delay=True,
-            inverting=inverting,
-            target_is_gate=target_is_gate,
-            target_multi_input=target_multi_input,
+            inverting=fact.inverting,
+            target_is_gate=fact.target_is_gate,
+            target_multi_input=fact.target_multi_input,
         )
 
     program = _EdgeProgram(
-        eid=eid,
+        eid=fact.eid,
         name=ename,
-        source_id=topo.edge_source_id[eid],
+        source_id=fact.source_id,
         zero_delay=False,
-        inverting=inverting,
-        target_is_gate=target_is_gate,
-        target_multi_input=target_multi_input,
+        inverting=fact.inverting,
+        target_is_gate=fact.target_is_gate,
+        target_multi_input=fact.target_multi_input,
         windows=np.zeros(S),
     )
     all_const = all(
@@ -510,9 +453,7 @@ def _compile_edge(
             )
             continue
         else:  # EtaInvolutionChannel
-            builder = _eta_builder(channel, f"edge {ename!r}", reasons)
-            if builder is None:
-                return None
+            builder = _eta_builder(channel, f"edge {ename!r}")
             program.fns_up[s] = _cached_polarity_fn(
                 fn_cache, channel._delta_up, channel._up_inf, channel._up_low, "eta"
             )
@@ -912,27 +853,6 @@ def _eval_gate(
 # --------------------------------------------------------------------------- #
 
 
-def _topological_order(topo: CircuitTopology) -> Optional[List[int]]:
-    """Kahn order over node ids, or ``None`` when the circuit has a cycle."""
-    n_nodes = len(topo.node_names)
-    indegree = [0] * n_nodes
-    for tid in topo.edge_target_id:
-        indegree[tid] += 1
-    ready = [nid for nid in range(n_nodes) if indegree[nid] == 0]
-    order: List[int] = []
-    while ready:
-        nid = ready.pop()
-        order.append(nid)
-        for eid in topo.out_edge_ids[nid]:
-            tid = topo.edge_target_id[eid]
-            indegree[tid] -= 1
-            if indegree[tid] == 0:
-                ready.append(tid)
-    if len(order) != n_nodes:
-        return None
-    return order
-
-
 @dataclass
 class VectorProgram:
     """A sweep compiled onto the vector backend, ready to execute.
@@ -978,7 +898,6 @@ class VectorProgram:
         scenarios = list(self.scenarios)
         S = len(scenarios)
         end_times = np.array([float(sc.end_time) for sc in scenarios])
-        lanes = np.arange(S)
 
         # --- input ports: truncate to each scenario's horizon ------------- #
         node_matrices: Dict[int, _SignalMatrix] = {}
@@ -1188,175 +1107,43 @@ def _compile(
     on_causality: str,
     max_events: int,
 ) -> Tuple[VectorCapability, Optional[VectorProgram]]:
-    """Check capability and (when supported) build the compiled program."""
-    reasons: List[str] = []
+    """Check capability via the shared analyzer, then build the program.
+
+    All obstacle detection lives in
+    :func:`repro.engine.capability.analyze_sweep` (shared with the static
+    linter's fallback prediction); this function only materialises the
+    per-edge numpy programs once the analysis comes back clean.
+    """
     scenarios = list(scenarios)
-    if not scenarios:
-        reasons.append("no scenarios to compile")
-        return VectorCapability(False, tuple(reasons)), None
-
-    # --- scenario validation (mirrors Engine.run's checks) ---------------- #
-    input_ports = topo.input_port_set
-    for scenario in scenarios:
-        missing = input_ports - set(scenario.inputs)
-        if missing:
-            raise SimulationError(
-                f"missing input signals for ports {sorted(missing)}"
-            )
-        unknown = set(scenario.inputs) - input_ports
-        if unknown:
-            raise SimulationError(
-                f"signals given for unknown ports {sorted(unknown)}"
-            )
-        if scenario.channels:
-            unknown_edges = set(scenario.channels) - set(topo.edges)
-            if unknown_edges:
-                raise SimulationError(
-                    f"channel overrides for unknown edges {sorted(unknown_edges)}"
-                )
-
-    # --- scenario-uniform initial values ---------------------------------- #
-    port_initials: Dict[str, int] = {}
-    for pname in topo.input_ports:
-        initials = {sc.inputs[pname].initial_value for sc in scenarios}
-        if len(initials) > 1:
-            reasons.append(
-                f"input port {pname!r}: initial value differs across scenarios"
-            )
-        else:
-            port_initials[pname] = initials.pop()
-
-    # --- structure --------------------------------------------------------- #
-    order = _topological_order(topo)
-    if order is None:
-        reasons.append(
-            "circuit has a feedback cycle (storage loops need the "
-            "event-driven engine)"
-        )
-
-    # --- per-edge channel programs ----------------------------------------- #
-    from ..core.adversary import RandomAdversary
-    from ..core.eta_channel import EtaInvolutionChannel
+    analysis = analyze_sweep(topo, scenarios)
+    if analysis.reasons:
+        return analysis.capability(), None
 
     edge_programs: Dict[int, _EdgeProgram] = {}
     fn_cache: Dict = {}
-    # One RandomAdversary *instance* shared by several edges of the same
-    # run interleaves a single RNG stream across those edges in event
-    # order in the scalar engine -- a coupling the per-edge eta matrices
-    # cannot replay.  Detect sharing per scenario and refuse.
-    seen_random: Dict[Tuple[int, int], str] = {}
-    shared_reported: set = set()
     for eid, ename in enumerate(topo.edge_names):
         edge = topo.edge_list[eid]
         run_channels = [
             (scenario.channels or {}).get(ename, edge.channel)
             for scenario in scenarios
         ]
-        for s, channel in enumerate(run_channels):
-            if (
-                type(channel) is EtaInvolutionChannel
-                and type(channel.adversary) is RandomAdversary
-            ):
-                key = (s, id(channel.adversary))
-                first = seen_random.get(key)
-                if first is None:
-                    seen_random[key] = ename
-                elif key not in shared_reported:
-                    shared_reported.add(key)
-                    reasons.append(
-                        f"scenario {scenarios[s].name!r}: one RandomAdversary "
-                        f"instance is shared by edges {first!r} and {ename!r} "
-                        "(the scalar engine interleaves a single RNG stream "
-                        "across sharing edges)"
-                    )
-        program = _compile_edge(eid, ename, topo, run_channels, reasons, fn_cache)
-        if program is not None:
-            edge_programs[eid] = program
+        program = _compile_edge(
+            analysis.edge_facts[eid], ename, run_channels, fn_cache
+        )
+        program.settle_sensitive = (
+            program.target_is_gate
+            and topo.edge_target_id[eid] in analysis.settle_inconsistent
+        )
+        edge_programs[eid] = program
 
-    # --- settle consistency ------------------------------------------------ #
-    # The engine's time-0 settle pass evaluates every gate against the
-    # channel-output initial values derived from *declared* node initial
-    # values; gates whose declared initial disagrees flip at time 0.
-    # Those flips mark edges as settle-sensitive (a delivery at or before
-    # time 0 would interleave with them) and, through zero-delay edges,
-    # can glitch downstream gates within the settle instant.
-    def _declared_initial(nid: int) -> Optional[int]:
-        if topo.node_kind[nid] == _NODE_GATE:
-            return topo.gate_initial_by_node[nid]
-        return port_initials.get(topo.node_names[nid])
-
-    settle_inconsistent: set = set()
-    for gid in topo.gate_ids:
-        out_inits = []
-        for in_eid in topo.gate_input_edge_ids[gid]:
-            program = edge_programs.get(in_eid)
-            if program is None:
-                break
-            src_initial = _declared_initial(program.source_id)
-            if src_initial is None:
-                break
-            out_inits.append(
-                (1 - src_initial) if program.inverting else src_initial
-            )
-        else:
-            gname = topo.node_names[gid]
-            settled = topo.gate_types[gname].evaluate(tuple(out_inits))
-            if settled != topo.gate_initial_by_node[gid]:
-                settle_inconsistent.add(gid)
-    for program in edge_programs.values():
-        if program.target_is_gate:
-            tid = topo.edge_target_id[program.eid]
-            program.settle_sensitive = tid in settle_inconsistent
-
-    # --- zero-delay edges into gates --------------------------------------- #
-    # The engine's delta cycles can evaluate a zero-delay-fed gate twice
-    # in the same instant (settle + immediate delivery), feeding a glitch
-    # into downstream kernels that a levelized evaluation cannot see.
-    # Restrict to the provably single-evaluation cases: single-input
-    # targets, no settle flips anywhere (a flip propagates through
-    # zero-delay edges within the settle instant), and strictly positive
-    # stimulus times.
-    min_input_time = _INF
-    for scenario in scenarios:
-        for signal in scenario.inputs.values():
-            if len(signal.transitions):
-                min_input_time = min(min_input_time, signal.transitions[0].time)
-    for eid, program in edge_programs.items():
-        if not program.zero_delay or not program.target_is_gate:
-            continue
-        ename = topo.edge_names[eid]
-        gname = topo.node_names[topo.edge_target_id[eid]]
-        if program.target_multi_input:
-            reasons.append(
-                f"zero-delay edge {ename!r} drives multi-input gate {gname!r} "
-                "(same-instant delta-cycle ordering is engine-specific)"
-            )
-            continue
-        if settle_inconsistent:
-            names = sorted(topo.node_names[gid] for gid in settle_inconsistent)
-            reasons.append(
-                f"zero-delay edge {ename!r} into gate {gname!r} while gates "
-                f"{names} flip in the time-0 settle pass (same-instant "
-                "settle glitches are engine-specific)"
-            )
-            continue
-        if min_input_time <= 0.0:
-            reasons.append(
-                f"zero-delay edge {ename!r} into gate {gname!r} with stimuli "
-                "at time <= 0 (same-instant settle ordering is "
-                "engine-specific)"
-            )
-
-    if reasons:
-        return VectorCapability(False, tuple(reasons)), None
     program = VectorProgram(
         topology=topo,
         scenarios=scenarios,
         on_causality=on_causality,
         max_events=max_events,
-        order=order,
+        order=analysis.order,
         edge_programs=edge_programs,
-        port_initials=port_initials,
+        port_initials=analysis.port_initials,
     )
     return VectorCapability(True), program
 

@@ -20,7 +20,7 @@ the thin deprecated wrapper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..circuits.library import inverter_chain
 from ..core.channel import Channel

@@ -33,7 +33,7 @@ from ..analog.technology import Technology, UMC90, as_technology
 from ..analog.variations import VariationScenario, standard_variations
 from ..core.involution import InvolutionPair
 from ..engine.sweep import sweep_map
-from ..fitting.characterize import CharacterizationDriver, DelayMeasurement
+from ..fitting.characterize import CharacterizationDriver
 from ..fitting.eta_coverage import DeviationAnalysis, compute_deviations, eta_band
 from ..specs import register_experiment_kind
 from .base import ExperimentOutcome, maybe_spec_params, run_via_spec, technology_param

@@ -7,7 +7,7 @@ as aligned text tables without pulling in any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_value", "print_table"]
 

@@ -22,14 +22,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.adversary import EtaBound
 from ..core.constraint import max_eta_minus
 from ..core.involution import InvolutionPair
-from .characterize import DelayMeasurement, DelaySample
+from .characterize import DelayMeasurement
 
 __all__ = [
     "DeviationSample",

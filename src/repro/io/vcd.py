@@ -13,7 +13,7 @@ value changes.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, TextIO
+from typing import Dict, List, Mapping, Optional
 
 from ..core.transitions import Signal
 

@@ -1,0 +1,43 @@
+"""Static diagnostics for specs, netlists, and experiment definitions.
+
+``repro lint`` validates a document *before* anything runs: structural
+netlist defects (dangling endpoints, duplicate names, pin conflicts),
+unknown or out-of-domain spec parameters, zero-delay cycles, determinism
+hazards (unseeded random adversaries), and -- via the same
+:func:`repro.engine.capability.analyze_sweep` analyzer the vector
+compiler uses -- a static prediction of exactly which sweeps would fall
+back to the scalar engine and why.
+
+Three entry points:
+
+* :func:`repro.api.lint` / :func:`lint` -- lint any spec-like object or
+  JSON file, returning a :class:`LintReport` of :class:`Diagnostic`
+  records,
+* the ``repro lint`` CLI subcommand -- text or ``--json`` output with
+  exit codes 0 (clean), 1 (error findings), 2 (unreadable input),
+* the ``validate=True`` hook on ``api.simulate`` / ``api.sweep`` /
+  ``api.experiment`` -- raises :class:`LintError` before running when
+  the input has error-severity findings.
+
+The rule catalogue (stable ``REPnnn`` codes) lives in
+:mod:`repro.lint.rules` and is rendered in ``docs/linting.md``.
+"""
+
+from .diagnostics import Diagnostic, LintError, LintReport, Severity
+from .rules import RULES, CircuitContext, ExperimentContext, Rule, get_rule, iter_rules
+from .runner import lint, lint_path
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "LintReport",
+    "LintError",
+    "Rule",
+    "RULES",
+    "CircuitContext",
+    "ExperimentContext",
+    "iter_rules",
+    "get_rule",
+    "lint",
+    "lint_path",
+]

@@ -1,0 +1,168 @@
+"""Structured diagnostic records produced by the ``repro lint`` engine.
+
+A :class:`Diagnostic` is one finding of one rule: a stable rule code
+(``REP001``), a :class:`Severity`, a human-readable message, and a
+JSON-pointer-style ``path`` locating the offending value inside the
+linted document (``/circuit/edges/3/channel``).  A :class:`LintReport`
+is the ordered collection of every finding over one input, with the
+text/JSON renderings the CLI prints and the exit-code semantics it
+maps to.  :class:`LintError` carries a failing report across the
+``validate=`` hooks of :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How seriously a diagnostic should be taken.
+
+    ``ERROR`` findings mean the document cannot run correctly (CI and the
+    ``validate=`` hooks fail on them); ``WARNING`` findings run but
+    violate a model constraint or determinism expectation; ``INFO``
+    findings are advisory (e.g. a predicted vector-backend fallback).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    Attributes
+    ----------
+    code:
+        Stable rule code (``REP001``); the catalogue lives in
+        :mod:`repro.lint.rules` and ``docs/linting.md``.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable description of the defect.
+    path:
+        JSON-pointer-style location into the linted document
+        (``/circuit/edges/3/channel``; ``""`` means the document root).
+    source:
+        Label of the linted input (file path, ``<stdin>``, or a
+        caller-provided name); ``None`` for in-memory objects.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    path: str = ""
+    source: Optional[str] = None
+
+    def format(self) -> str:
+        """Render the ``source:path CODE severity: message`` text line."""
+        where = self.source or "<input>"
+        location = self.path or "/"
+        return f"{where}:{location} {self.code} {self.severity}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict form (used by ``repro lint --json``)."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "path": self.path,
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Every diagnostic one lint pass produced over one input, in order.
+
+    Diagnostics keep rule-catalogue order (rules run sorted by code, each
+    yielding findings in document order), so text and JSON renderings are
+    deterministic and golden-testable.
+    """
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    source: Optional[str] = None
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        """The error-severity findings."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        """The warning-severity findings."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        """The info-severity findings."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when the input is runnable: no error-severity findings."""
+        return not self.errors
+
+    def summary(self) -> str:
+        """One-line count summary (``2 errors, 1 warning, 0 info``)."""
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.infos)
+        return (
+            f"{n_err} error{'s' if n_err != 1 else ''}, "
+            f"{n_warn} warning{'s' if n_warn != 1 else ''}, "
+            f"{n_info} info"
+        )
+
+    def render(self) -> str:
+        """Multi-line text rendering: one line per finding plus the summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dict form (used by ``repro lint --json``)."""
+        return {
+            "source": self.source,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class LintError(ValueError):
+    """Raised by the ``validate=`` hooks when linting finds errors.
+
+    Carries the full :class:`LintReport` as ``report`` so callers can
+    inspect or re-render every finding, not just the first.
+    """
+
+    def __init__(self, report: LintReport) -> None:
+        super().__init__(
+            "lint failed: "
+            + report.summary()
+            + "".join("\n  " + d.format() for d in report.errors)
+        )
+        self.report = report

@@ -93,6 +93,9 @@ __all__ = [
     "register_channel_kind",
     "register_experiment_kind",
     "experiment_kinds",
+    "channel_kinds",
+    "delay_kinds",
+    "adversary_kinds",
     "get_experiment_kind",
     "pair_to_dict",
     "pair_from_dict",
@@ -1103,6 +1106,21 @@ def _load_builtin_experiments() -> None:
 
     importlib.import_module("repro.experiments")
     _BUILTIN_EXPERIMENTS_LOADED = True
+
+
+def channel_kinds() -> List[str]:
+    """Sorted names of all registered channel kinds."""
+    return sorted(_CHANNEL_BUILDERS)
+
+
+def delay_kinds() -> List[str]:
+    """Sorted names of all registered delay-function kinds."""
+    return sorted(_DELAY_BUILDERS)
+
+
+def adversary_kinds() -> List[str]:
+    """Sorted names of all registered adversary kinds."""
+    return sorted(_ADVERSARY_BUILDERS)
 
 
 def experiment_kinds() -> List[str]:

@@ -19,14 +19,11 @@ Two views are provided:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
-
-import numpy as np
+from typing import List, Optional
 
 from ..circuits.library import fed_back_or
-from ..core.adversary import Adversary, EtaBound, ZeroAdversary
+from ..core.adversary import EtaBound, ZeroAdversary
 from ..core.eta_channel import EtaInvolutionChannel
 from ..core.involution import InvolutionPair
 from ..core.transitions import Signal

@@ -45,7 +45,10 @@ class TestAnalogToModelPipeline:
 
     def test_characterised_channel_filters_glitches_in_circuit(self, characterised_pair):
         _, pair = characterised_pair
-        factory = lambda: InvolutionChannel(pair)
+
+        def factory():
+            return InvolutionChannel(pair)
+
         circuit = inverter_chain(4, factory, expose_taps=True)
         wide = simulate(circuit, {"in": Signal.pulse(0.0, 80.0)}, 600.0)
         narrow = simulate(circuit, {"in": Signal.pulse(0.0, 4.0)}, 600.0)

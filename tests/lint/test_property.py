@@ -1,0 +1,162 @@
+"""Property test: the linter's static vector-capability prediction
+(REP401) agrees with the runtime verdict of
+:func:`repro.engine.vector.vector_capability` on generated circuits.
+
+Both sides share one analyzer (:mod:`repro.engine.capability`), so this
+test pins the contract that made the refactor worthwhile: a document
+the linter calls vector-clean must actually run on the vector backend,
+and every predicted fallback reason must match the runtime report
+verbatim.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.core.transitions import Signal
+from repro.engine.sweep import Scenario, run_many
+from repro.engine.vector import vector_capability
+from repro.lint import lint
+from repro.specs import CircuitSpec
+
+REP401_PREFIX = "sweeps would fall back to the scalar engine: "
+
+
+def _random_channel(rng):
+    choice = rng.randrange(6)
+    if choice == 0:
+        return {"kind": "zero"}
+    if choice == 1:
+        return {"kind": "pure", "delay": rng.choice([0.0, 0.7, 1.3])}
+    if choice == 2:
+        return {"kind": "inertial", "delay": 1.0, "window": 0.4}
+    if choice == 3:
+        return {"kind": "involution", "pair": {"kind": "exp", "tau": 1.0, "t_p": 0.5}}
+    adversary = rng.choice(
+        [
+            {"kind": "zero"},
+            {"kind": "worst"},
+            {"kind": "random", "seed": rng.randrange(100)},
+            {"kind": "random"},  # unseeded: predicted fallback
+            {"kind": "sine", "period": 2.0},
+        ]
+    )
+    return {
+        "kind": "eta_involution",
+        "pair": {"kind": "exp", "tau": 1.0, "t_p": 0.5},
+        "eta": {"eta_plus": 0.05, "eta_minus": 0.2},
+        "adversary": adversary,
+    }
+
+
+def _random_circuit_doc(rng):
+    """A random INV chain, optionally ending in an OR2/BUF storage loop."""
+    nodes = [{"kind": "input", "name": "a", "initial_value": 0}]
+    edges = []
+    prev, value = "a", 0
+    for i in range(rng.randint(1, 3)):
+        name = f"g{i}"
+        value = 1 - value
+        nodes.append(
+            {"kind": "gate", "name": name, "type": "INV", "initial_value": value}
+        )
+        edges.append(
+            {
+                "name": f"e{i}",
+                "source": prev,
+                "target": name,
+                "pin": 0,
+                "channel": _random_channel(rng),
+            }
+        )
+        prev = name
+    if rng.random() < 0.4:
+        nodes.append(
+            {"kind": "gate", "name": "l0", "type": "OR2", "initial_value": value}
+        )
+        nodes.append(
+            {"kind": "gate", "name": "l1", "type": "BUF", "initial_value": value}
+        )
+        edges.append(
+            {"name": "el0", "source": prev, "target": "l0", "pin": 0,
+             "channel": _random_channel(rng)}
+        )
+        edges.append(
+            {"name": "el1", "source": "l1", "target": "l0", "pin": 1,
+             "channel": _random_channel(rng)}
+        )
+        edges.append(
+            {"name": "el2", "source": "l0", "target": "l1", "pin": 0,
+             "channel": _random_channel(rng)}
+        )
+        prev = "l0"
+    nodes.append({"kind": "output", "name": "o"})
+    edges.append(
+        {"name": "eo", "source": prev, "target": "o", "channel": _random_channel(rng)}
+    )
+    return {"name": "gen", "nodes": nodes, "edges": edges}
+
+
+def _runtime_scenario(doc):
+    """The same scenario REP401 synthesizes: declared initials, t=10."""
+    inputs = {
+        node["name"]: Signal(node.get("initial_value", 0), [])
+        for node in doc["nodes"]
+        if node["kind"] == "input"
+    }
+    return Scenario(name="lint", inputs=inputs, end_time=10.0)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_static_prediction_matches_runtime_capability(seed):
+    rng = random.Random(seed)
+    for _ in range(25):
+        doc = _random_circuit_doc(rng)
+        report = lint(doc)
+        predicted = [
+            d.message[len(REP401_PREFIX):]
+            for d in report
+            if d.code == "REP401"
+        ]
+        circuit = CircuitSpec.from_dict(doc).build()
+        capability = vector_capability(circuit, [_runtime_scenario(doc)])
+        assert predicted == list(capability.reasons), doc
+        assert bool(predicted) == (not capability.supported), doc
+
+
+def test_vector_clean_circuits_actually_run_vectorized():
+    rng = random.Random(99)
+    exercised = 0
+    while exercised < 5:
+        doc = _random_circuit_doc(rng)
+        report = lint(doc)
+        if any(d.code == "REP401" for d in report):
+            continue
+        circuit = CircuitSpec.from_dict(doc).build()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a fallback warning = failure
+            result = run_many(circuit, [_runtime_scenario(doc)], backend="vector")
+        assert result.backend == "vector", doc
+        exercised += 1
+
+
+def test_predicted_fallback_circuits_fall_back():
+    rng = random.Random(7)
+    exercised = 0
+    while exercised < 5:
+        doc = _random_circuit_doc(rng)
+        report = lint(doc)
+        predicted = [d for d in report if d.code == "REP401"]
+        if not predicted:
+            continue
+        circuit = CircuitSpec.from_dict(doc).build()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = run_many(
+                circuit, [_runtime_scenario(doc)], backend="vector"
+            )
+        assert result.backend != "vector", doc
+        assert result.vector_report is not None
+        assert not result.vector_report.supported
+        exercised += 1

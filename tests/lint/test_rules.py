@@ -1,0 +1,64 @@
+"""Per-rule fixture corpus: every rule is pinned by a failing and a
+passing JSON fixture in ``tests/lint/fixtures/``.
+
+The failing fixture must trigger the rule (other rules may co-fire --
+real defects rarely come alone); the passing fixture must not trigger
+it *and* must be free of error-severity findings, so each rule's happy
+path is a runnable document.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, Severity, get_rule, iter_rules, lint_path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_every_rule_has_fixtures():
+    for code in RULES:
+        assert (FIXTURES / f"{code}_fail.json").is_file(), code
+        assert (FIXTURES / f"{code}_pass.json").is_file(), code
+
+
+def test_no_stray_fixtures():
+    for path in FIXTURES.glob("*.json"):
+        code, _, suffix = path.stem.partition("_")
+        assert code in RULES, path.name
+        assert suffix in ("fail", "pass"), path.name
+
+
+@pytest.mark.parametrize("code", sorted(RULES))
+def test_failing_fixture_triggers_rule(code):
+    report = lint_path(FIXTURES / f"{code}_fail.json")
+    assert code in {d.code for d in report}, report.render()
+
+
+@pytest.mark.parametrize("code", sorted(RULES))
+def test_passing_fixture_is_clean(code):
+    report = lint_path(FIXTURES / f"{code}_pass.json")
+    assert code not in {d.code for d in report}, report.render()
+    assert report.ok, report.render()
+
+
+def test_registry_invariants():
+    rules = iter_rules()
+    assert len(rules) == len(RULES)
+    assert [r.code for r in rules] == sorted(RULES)
+    for rule in rules:
+        assert rule.code.startswith("REP") and rule.code[3:].isdigit()
+        assert rule.name and rule.name == rule.name.lower()
+        assert isinstance(rule.severity, Severity)
+        assert rule.summary.endswith(".")
+        assert rule.scope in ("circuit", "experiment")
+        assert rule.doc, f"{rule.code} has no rationale docstring"
+        assert get_rule(rule.code) is rule
+
+
+def test_diagnostics_are_stamped_with_rule_metadata():
+    report = lint_path(FIXTURES / "REP106_fail.json", source="x.json")
+    finding = next(d for d in report if d.code == "REP106")
+    assert finding.severity is RULES["REP106"].severity
+    assert finding.source == "x.json"
+    assert finding.path.startswith("/edges/")

@@ -207,9 +207,8 @@ class TestAgainstSimulation:
 
     def test_latching_threshold_matches_simulation(self, exp_pair, eta_small):
         analysis = SPFAnalysis(exp_pair, eta_small)
-        channel_factory = lambda: EtaInvolutionChannel(
-            exp_pair, eta_small, WorstCaseAdversary()
-        )
+        def channel_factory():
+            return EtaInvolutionChannel(exp_pair, eta_small, WorstCaseAdversary())
         for offset, expected_final in ((0.02, 1), (-0.02, 0)):
             circuit = fed_back_or(channel_factory())
             execution = Simulator(circuit, max_events=500_000).run(

@@ -32,6 +32,11 @@ ENFORCED = [
     SRC / "engine" / "vector.py",
     SRC / "engine" / "shard.py",
     SRC / "engine" / "__init__.py",
+    SRC / "engine" / "capability.py",
+    SRC / "lint" / "__init__.py",
+    SRC / "lint" / "diagnostics.py",
+    SRC / "lint" / "rules.py",
+    SRC / "lint" / "runner.py",
 ]
 
 

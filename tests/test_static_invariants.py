@@ -1,0 +1,130 @@
+"""AST-level determinism gates over the engine and core trees.
+
+Reproducibility is the project's north star: every stochastic or
+time-dependent value inside ``repro.engine`` and ``repro.core`` must be
+derived from an explicit seed or an explicit simulation clock.  These
+tests parse the source (no imports, no execution) and forbid:
+
+* ``time.time()`` / ``time.time_ns()`` -- wall-clock entropy leaking
+  into results (``time.perf_counter`` for *measuring* durations is
+  fine: it annotates results, it never decides them),
+* the stdlib ``random`` module in any form -- its global state is
+  process-wide and unseedable per-run,
+* legacy ``np.random.*`` calls (global-state RNG) and zero-argument
+  ``np.random.default_rng()`` / ``np.random.SeedSequence()`` -- fresh
+  OS entropy that cannot be replayed.
+
+Seeded constructions (``np.random.default_rng(seed)``,
+``np.random.SeedSequence(seed)``) and the ``np.random.Generator`` type
+(annotations) stay allowed.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parents[1] / "src" / "repro"
+CHECKED_TREES = ("engine", "core")
+
+#: np.random attributes allowed as non-call references (types/annotations).
+ALLOWED_NP_RANDOM_ATTRS = {"default_rng", "SeedSequence", "Generator"}
+
+
+def _checked_files():
+    for tree in CHECKED_TREES:
+        yield from sorted((SRC / tree).rglob("*.py"))
+
+
+def _is_np_random(node):
+    """True for an ``np.random`` / ``numpy.random`` attribute chain."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _violations(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    found.append((node.lineno, "import random"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" or (
+                node.module or ""
+            ).startswith("random."):
+                found.append((node.lineno, f"from {node.module} import ..."))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("time", "time_ns")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                found.append((node.lineno, f"time.{func.attr}()"))
+            if isinstance(func, ast.Attribute) and _is_np_random(func.value):
+                if func.attr not in ALLOWED_NP_RANDOM_ATTRS:
+                    found.append(
+                        (node.lineno, f"legacy np.random.{func.attr}()")
+                    )
+                elif not node.args and not node.keywords:
+                    found.append(
+                        (node.lineno, f"unseeded np.random.{func.attr}()")
+                    )
+        elif isinstance(node, ast.Attribute) and _is_np_random(node.value):
+            if node.attr not in ALLOWED_NP_RANDOM_ATTRS:
+                found.append((node.lineno, f"np.random.{node.attr}"))
+
+    return found
+
+
+def test_checked_trees_exist_and_are_nonempty():
+    files = list(_checked_files())
+    assert len(files) > 5, files
+
+
+@pytest.mark.parametrize(
+    "path", list(_checked_files()), ids=lambda p: str(p.relative_to(SRC))
+)
+def test_no_determinism_hazards(path):
+    violations = _violations(path)
+    assert not violations, "\n".join(
+        f"{path}:{line}: {what}" for line, what in violations
+    )
+
+
+def test_gate_actually_detects_hazards(tmp_path):
+    """The detector itself is tested: seed each forbidden construct."""
+    cases = {
+        "import random\n": "import random",
+        "from random import choice\n": "from random import",
+        "import time\nt = time.time()\n": "time.time()",
+        "import numpy as np\nx = np.random.rand(3)\n": "legacy np.random.rand",
+        "import numpy as np\nr = np.random.default_rng()\n": (
+            "unseeded np.random.default_rng"
+        ),
+        "import numpy as np\ns = np.random.seed\n": "np.random.seed",
+    }
+    for source, expectation in cases.items():
+        probe = tmp_path / "probe.py"
+        probe.write_text(source)
+        violations = _violations(probe)
+        assert violations, f"not detected: {source!r}"
+        assert any(expectation in what for _, what in violations), violations
+
+    clean = tmp_path / "clean.py"
+    clean.write_text(
+        "import time\nimport numpy as np\n"
+        "t = time.perf_counter()\n"
+        "rng = np.random.default_rng(42)\n"
+        "seq = np.random.SeedSequence(7)\n"
+        "g: np.random.Generator = rng\n"
+    )
+    assert not _violations(clean)
