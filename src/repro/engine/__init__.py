@@ -21,9 +21,10 @@ Three layers, each usable on its own:
   :mod:`repro.lint` fallback prediction so the linter and the runtime
   can never disagree,
 * :mod:`repro.engine.vector` -- the NumPy-vectorized batch backend:
-  feed-forward sweeps compiled into dense per-scenario arrays and
-  evaluated for all scenarios simultaneously, bit-identical to the
-  scalar engine, with a capability report
+  sweeps compiled into dense per-scenario arrays and evaluated for all
+  scenarios simultaneously (feedback loops through an iterate-to-fixpoint
+  lockstep schedule), bit-identical to the scalar engine, with a
+  capability report
   (:func:`vector_capability`) for everything it cannot express,
 * :mod:`repro.engine.shard` -- the fault-tolerant sharded sweep layer:
   spec-keyed chunk checkpointing with crash-safe resume, retry with
@@ -81,6 +82,7 @@ __all__ = [
     "VectorProgram",
     "vector_capability",
     "compile_sweep",
+    "predraw_random_adversaries",
     "run_many_vector",
     # shard (lazy)
     "RetryPolicy",
@@ -118,6 +120,7 @@ _VECTOR_EXPORTS = {
     "VectorProgram",
     "vector_capability",
     "compile_sweep",
+    "predraw_random_adversaries",
     "run_many_vector",
 }
 _SHARD_EXPORTS = {

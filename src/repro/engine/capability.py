@@ -1,12 +1,14 @@
 """Static capability analysis of sweeps, shared by the vector backend and lint.
 
 The vector backend (:mod:`repro.engine.vector`) can only express a subset
-of sweeps: acyclic circuits whose channels and adversaries come from the
-library classes with mirrored vector semantics, driven by scenarios whose
-structure does not vary in engine-batch-order-specific ways.  Deciding
-*whether* a sweep is in that subset -- and naming every obstacle when it
-is not -- is a purely static question: it needs the circuit topology, the
-channel objects and the scenario stimuli, but never a simulation run.
+of sweeps: circuits (cyclic ones included -- storage loops run through an
+iterate-to-fixpoint lockstep schedule) whose channels and adversaries
+come from the library classes with mirrored vector semantics, driven by
+scenarios whose structure does not vary in engine-batch-order-specific
+ways.  Deciding *whether* a sweep is in that subset -- and naming every
+obstacle when it is not -- is a purely static question: it needs the
+circuit topology, the channel objects and the scenario stimuli, but
+never a simulation run.
 
 This module is the single home of that decision.  Two consumers share it:
 
@@ -20,8 +22,8 @@ This module is the single home of that decision.  Two consumers share it:
 
 Factoring the detection out of the compiler is what keeps the linter's
 prediction and the runtime's fallback behaviour from drifting apart: the
-property tests in ``tests/lint/test_vector_prediction.py`` pin that the
-two agree verdict-for-verdict across generated sweeps.
+property tests in ``tests/lint/test_property.py`` pin that the two agree
+verdict-for-verdict across generated sweeps.
 """
 
 from __future__ import annotations
@@ -34,23 +36,19 @@ from .errors import SimulationError
 from .scheduler import _NODE_GATE, CircuitTopology
 
 __all__ = [
-    "FEEDBACK_CYCLE_REASON",
     "NO_SCENARIOS_REASON",
     "VectorCapability",
     "EdgeFact",
     "SweepAnalysis",
     "adversary_obstacle",
     "analyze_sweep",
+    "strongly_connected_components",
     "supported_channel_classes",
     "topological_order",
 ]
 
 _INF = math.inf
 
-#: Reason recorded when the circuit graph contains a cycle.
-FEEDBACK_CYCLE_REASON = (
-    "circuit has a feedback cycle (storage loops need the event-driven engine)"
-)
 #: Reason recorded when a sweep has no scenarios at all.
 NO_SCENARIOS_REASON = "no scenarios to compile"
 
@@ -112,6 +110,72 @@ def topological_order(
     return order
 
 
+def strongly_connected_components(
+    n_nodes: int,
+    out_edges: Sequence[Sequence[int]],
+    edge_target: Sequence[int],
+) -> List[List[int]]:
+    """Tarjan SCCs over node ids, in condensation topological order.
+
+    Same dense-integer graph form as :func:`topological_order`.  The
+    result lists every node exactly once; components appear sources
+    first (every edge leaving a component lands in a *later* one), and
+    the traversal is fully deterministic (roots in increasing node id,
+    edges in declaration order), so the vector backend's fixpoint
+    schedule is reproducible.  Members within a component keep their
+    DFS discovery order; callers that need a canonical member order
+    sort by node id.
+    """
+    index_of = [-1] * n_nodes
+    low = [0] * n_nodes
+    on_stack = [False] * n_nodes
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+    for root in range(n_nodes):
+        if index_of[root] != -1:
+            continue
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            nid, ei = work[-1]
+            if ei == 0:
+                index_of[nid] = low[nid] = counter
+                counter += 1
+                stack.append(nid)
+                on_stack[nid] = True
+            descended = False
+            edges = out_edges[nid]
+            while ei < len(edges):
+                tid = edge_target[edges[ei]]
+                ei += 1
+                if index_of[tid] == -1:
+                    work[-1] = (nid, ei)
+                    work.append((tid, 0))
+                    descended = True
+                    break
+                if on_stack[tid]:
+                    low[nid] = min(low[nid], index_of[tid])
+            if descended:
+                continue
+            work.pop()
+            if low[nid] == index_of[nid]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == nid:
+                        break
+                component.reverse()
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[nid])
+    # Tarjan emits sinks first; reverse for condensation topo order.
+    components.reverse()
+    return components
+
+
 def supported_channel_classes() -> frozenset:
     """The exact channel classes the vector backend can express.
 
@@ -146,10 +210,11 @@ def adversary_obstacle(adversary: object) -> Optional[str]:
     The supported strategies are exactly the ones
     ``repro.engine.vector._eta_builder`` can materialise as per-scenario
     shift rows; keep the two in sync.  An *unseeded*
-    :class:`~repro.core.adversary.RandomAdversary` is the determinism
-    hazard case: it draws fresh entropy per run, so no backend can replay
-    it bit-identically (``repro lint`` flags it as ``REP301`` even
-    outside vector sweeps).
+    :class:`~repro.core.adversary.RandomAdversary` is no longer an
+    obstacle: the vector compiler materialises it by pre-drawing a fresh
+    seed per (scenario, edge) at compile time, matching the scalar
+    engine's fresh-entropy-per-run semantics (``repro lint`` still flags
+    it as ``REP301`` because the *run* remains unreplayable either way).
     """
     from ..core.adversary import (
         BestCaseAdversary,
@@ -162,14 +227,8 @@ def adversary_obstacle(adversary: object) -> Optional[str]:
     )
 
     kind = type(adversary)
-    if kind is RandomAdversary:
-        if adversary._seed is None:
-            return (
-                "RandomAdversary without a seed draws fresh entropy "
-                "per run and cannot be replayed bit-identically"
-            )
-        return None
     if kind in (
+        RandomAdversary,
         ZeroAdversary,
         WorstCaseAdversary,
         BestCaseAdversary,
@@ -205,13 +264,16 @@ class SweepAnalysis:
 
     ``reasons`` is empty iff the sweep is vector-supported; the remaining
     fields carry what the vector compiler needs to build its per-edge
-    programs without re-deriving anything (topological ``order``,
-    scenario-uniform ``port_initials``, per-edge facts, the set of gates
-    that flip in the time-0 settle pass, and the earliest stimulus time).
+    programs without re-deriving anything (topological ``order`` for
+    acyclic circuits, SCC ``components`` in condensation order for
+    cyclic ones, scenario-uniform ``port_initials``, per-edge facts, the
+    set of gates that flip in the time-0 settle pass, and the earliest
+    stimulus time).
     """
 
     reasons: List[str] = field(default_factory=list)
     order: Optional[List[int]] = None
+    components: Optional[List[List[int]]] = None
     port_initials: Dict[str, int] = field(default_factory=dict)
     edge_facts: Dict[int, EdgeFact] = field(default_factory=dict)
     settle_inconsistent: Set[int] = field(default_factory=set)
@@ -357,17 +419,25 @@ def analyze_sweep(
             port_initials[pname] = initials.pop()
 
     # --- structure ---------------------------------------------------------- #
+    # Acyclic circuits keep the exact Kahn order (part of the vector
+    # backend's evaluation contract); cyclic ones additionally get the
+    # SCC decomposition the fixpoint scheduler iterates over.
     analysis.order = topological_order(
         len(topo.node_names), topo.out_edge_ids, topo.edge_target_id
     )
     if analysis.order is None:
-        reasons.append(FEEDBACK_CYCLE_REASON)
+        analysis.components = strongly_connected_components(
+            len(topo.node_names), topo.out_edge_ids, topo.edge_target_id
+        )
 
     # --- per-edge channel facts --------------------------------------------- #
-    # One RandomAdversary *instance* shared by several edges of the same
-    # run interleaves a single RNG stream across those edges in event
-    # order in the scalar engine -- a coupling the per-edge eta matrices
-    # cannot replay.  Detect sharing per scenario and refuse.
+    # One *seeded* RandomAdversary instance shared by several edges of
+    # the same run interleaves a single RNG stream across those edges in
+    # event order in the scalar engine -- a coupling the per-edge eta
+    # matrices cannot replay.  Detect sharing per scenario and refuse.
+    # Unseeded shared instances are fine: the compiler splits them into
+    # independent freshly seeded streams, which is distributionally
+    # identical to interleaving iid draws.
     edge_facts = analysis.edge_facts
     seen_random: Dict[Tuple[int, int], str] = {}
     shared_reported: Set[Tuple[int, int]] = set()
@@ -381,6 +451,7 @@ def analyze_sweep(
             if (
                 type(channel) is EtaInvolutionChannel
                 and type(channel.adversary) is RandomAdversary
+                and channel.adversary._seed is not None
             ):
                 key = (s, id(channel.adversary))
                 first = seen_random.get(key)
@@ -429,43 +500,57 @@ def analyze_sweep(
             if settled != topo.gate_initial_by_node[gid]:
                 settle_inconsistent.add(gid)
 
-    # --- zero-delay edges into gates ----------------------------------------- #
-    # The engine's delta cycles can evaluate a zero-delay-fed gate twice
-    # in the same instant (settle + immediate delivery), feeding a glitch
-    # into downstream kernels that a levelized evaluation cannot see.
-    # Restrict to the provably single-evaluation cases: single-input
-    # targets, no settle flips anywhere (a flip propagates through
-    # zero-delay edges within the settle instant), and strictly positive
-    # stimulus times.
+    # --- zero-delay hazards --------------------------------------------------- #
+    # Two zero-delay shapes stay static obstacles.  A cycle made purely
+    # of zero-delay edges never makes progress: the scalar engine spins
+    # its delta cycles until the combinational-loop guard fires, and the
+    # fixpoint scheduler has no growing time prefix to converge on.  And
+    # a zero-delay edge into a gate that *flips in the time-0 settle
+    # pass* interleaves the delivery with the settle evaluation inside
+    # one instant -- a double evaluation the levelized tie-break pass
+    # cannot replay.  Every other same-instant hazard (multi-input
+    # targets, deliveries at t <= 0) is now checked dynamically by the
+    # vector backend's wave-class coincidence pass, which falls back
+    # only for the scenarios where classes actually collide.
     min_input_time = _INF
     for scenario in scenarios:
         for signal in scenario.inputs.values():
             if len(signal.transitions):
                 min_input_time = min(min_input_time, signal.transitions[0].time)
     analysis.min_input_time = min_input_time
+
+    zero_out_edges: List[List[int]] = [[] for _ in topo.node_names]
+    for eid, fact in edge_facts.items():
+        if fact.zero_delay:
+            zero_out_edges[fact.source_id].append(eid)
+    for edge_ids in zero_out_edges:
+        edge_ids.sort()
+    zero_components = strongly_connected_components(
+        len(topo.node_names), zero_out_edges, topo.edge_target_id
+    )
+    for component in zero_components:
+        is_cycle = len(component) > 1 or any(
+            topo.edge_target_id[eid] == component[0]
+            for eid in zero_out_edges[component[0]]
+        )
+        if is_cycle:
+            names = sorted(topo.node_names[nid] for nid in component)
+            reasons.append(
+                f"zero-delay cycle through nodes {names} (a combinational "
+                "loop makes no time progress for the fixpoint schedule; "
+                "the event-driven engine detects it at run time)"
+            )
+
     for eid, fact in edge_facts.items():
         if not fact.zero_delay or not fact.target_is_gate:
             continue
-        ename = topo.edge_names[eid]
-        gname = topo.node_names[topo.edge_target_id[eid]]
-        if fact.target_multi_input:
+        target_id = topo.edge_target_id[eid]
+        if target_id in settle_inconsistent:
+            ename = topo.edge_names[eid]
+            gname = topo.node_names[target_id]
             reasons.append(
-                f"zero-delay edge {ename!r} drives multi-input gate {gname!r} "
-                "(same-instant delta-cycle ordering is engine-specific)"
-            )
-            continue
-        if settle_inconsistent:
-            names = sorted(topo.node_names[gid] for gid in settle_inconsistent)
-            reasons.append(
-                f"zero-delay edge {ename!r} into gate {gname!r} while gates "
-                f"{names} flip in the time-0 settle pass (same-instant "
-                "settle glitches are engine-specific)"
-            )
-            continue
-        if min_input_time <= 0.0:
-            reasons.append(
-                f"zero-delay edge {ename!r} into gate {gname!r} with stimuli "
-                "at time <= 0 (same-instant settle ordering is "
-                "engine-specific)"
+                f"zero-delay edge {ename!r} into gate {gname!r} which flips "
+                "in the time-0 settle pass (same-instant settle glitches "
+                "are engine-specific)"
             )
     return analysis

@@ -41,13 +41,27 @@ a different one.  Two design rules make the bit identity possible:
 
 Capability model
 ----------------
-Not every circuit is expressible: the compiler handles acyclic circuits
-(no storage loops -- their fixed-point iteration is inherently
-event-driven) whose channels and adversaries are the library-provided
-classes with mirrored vector semantics.  :func:`vector_capability`
-reports *why* a sweep cannot be compiled; ``run_many(backend="vector")``
-falls back to the scalar path with that report attached rather than
-failing or silently slowing down.
+The compiler handles cyclic circuits as well as acyclic ones: the
+acyclic region is evaluated level by level in one pass, while each
+strongly-connected component (storage loops, latches -- the theorem9
+experiment's shape) is iterated to a fixpoint in lockstep: loop channels
+are re-evaluated from the previous iterate until every member gate's
+signal matrix stops changing, which happens once the correct prefix has
+grown past the horizon (each pass extends it by the loop's minimum
+delay).  A final strict pass then replays the loop channels once more to
+count events and surface errors exactly as the acyclic path would.
+Unseeded ``RandomAdversary`` channels are materialised at compile time
+with per-(scenario, edge) pre-drawn seeds -- the same
+fresh-entropy-per-run semantics the scalar engine gives them
+(:func:`predraw_random_adversaries` exposes the materialisation so both
+backends can be run on identical draws).  The obstacles that remain are
+reported by :func:`vector_capability` -- unsupported channel or
+adversary classes, zero-delay-only cycles, settle-instant glitches,
+scenario-dependent structure -- and same-instant arrival coincidences
+that only show up at run time make execution raise
+:class:`VectorUnsupportedError`; in both cases
+``run_many(backend="vector")`` falls back to the scalar path with the
+report attached rather than failing or silently slowing down.
 """
 
 from __future__ import annotations
@@ -74,6 +88,7 @@ __all__ = [
     "VectorUnsupportedError",
     "vector_capability",
     "compile_sweep",
+    "predraw_random_adversaries",
     "VectorProgram",
     "run_many_vector",
 ]
@@ -261,6 +276,15 @@ def _eta_builder(channel, where: str):
         return lambda times, rising: np.where(rising, -eta_minus, eta_plus)
     if kind is RandomAdversary:
         seed = adversary._seed
+        if seed is None:
+            # _compile materialises unseeded adversaries with pre-drawn
+            # seeds before any builder runs; reaching here means that
+            # pass was skipped, and miscompiling silently would produce
+            # unreplayable draws.
+            raise SimulationError(
+                f"{where}: unseeded RandomAdversary reached the vector "
+                "builder without a pre-drawn seed"
+            )
         distribution = adversary.distribution
         sigma = adversary.sigma_fraction * bound.width / 2.0
 
@@ -508,6 +532,9 @@ def _eval_timed_edge(
     source: _SignalMatrix,
     end_times: np.ndarray,
     on_causality: str,
+    *,
+    strict: bool = True,
+    scc_internal: bool = False,
 ) -> Tuple[_SignalMatrix, np.ndarray, np.ndarray]:
     """Run one edge's channel kernel over all scenarios in lockstep.
 
@@ -516,6 +543,18 @@ def _eval_timed_edge(
     the loop runs over the transition *index*, each step a handful of
     masked array operations across scenarios.  Returns the delivered
     signal matrix plus per-scenario DELIVER-event and dropped counts.
+
+    ``strict=False`` is the fixpoint scheduler's *deferred* mode: the
+    source matrix is a provisional iterate whose suffix may be garbage,
+    so conditions that would normally raise (causality violations,
+    inadmissible adversary shifts, same-instant hazards) are silently
+    degraded -- violations drop, shifts clip -- and the caller discards
+    the event/drop counts.  Once the iterate converges, a final
+    ``strict=True, scc_internal=True`` pass replays the edge exactly;
+    ``scc_internal`` additionally refuses any delivery scheduled at or
+    before its feeding instant, because a non-positive realised delay
+    inside a feedback loop breaks the contraction the fixpoint relies
+    on (the scalar engine resolves those with batch ordering).
     """
     times, counts = source.times, source.counts
     S, N = times.shape
@@ -543,15 +582,33 @@ def _eval_timed_edge(
             eta_rows[s] = True
             if n == 0:
                 continue
-            shifts = np.asarray(builder(times[s, :n], rising[:n]), dtype=float)
             lo, hi = program.eta_lo[s], program.eta_hi[s]
-            if np.any((shifts < lo) | (shifts > hi)):
-                bad = shifts[(shifts < lo) | (shifts > hi)][0]
-                bound = program.eta_bounds[s]
-                raise ValueError(
-                    f"adversary produced inadmissible shift {bad} outside "
-                    f"[-{bound.eta_minus}, {bound.eta_plus}]"
+            if strict:
+                shifts = np.asarray(
+                    builder(times[s, :n], rising[:n]), dtype=float
                 )
+                if np.any((shifts < lo) | (shifts > hi)):
+                    bad = shifts[(shifts < lo) | (shifts > hi)][0]
+                    bound = program.eta_bounds[s]
+                    raise ValueError(
+                        f"adversary produced inadmissible shift {bad} outside "
+                        f"[-{bound.eta_minus}, {bound.eta_plus}]"
+                    )
+            else:
+                # Deferred iterate: shifts drawn for a garbage suffix may
+                # be inadmissible; clip them (the converged strict pass
+                # re-validates) and turn builder refusals into fallback.
+                try:
+                    shifts = np.asarray(
+                        builder(times[s, :n], rising[:n]), dtype=float
+                    )
+                except ValueError as exc:
+                    raise VectorUnsupportedError(
+                        VectorCapability(
+                            False, (f"edge {program.name!r}: {exc}",)
+                        )
+                    )
+                shifts = np.minimum(np.maximum(shifts, lo), hi)
             eta_mat[s, :n] = shifts
 
     # Kernel state, one lane per scenario.
@@ -559,6 +616,7 @@ def _eval_timed_edge(
     last_delay = np.zeros(S)
     pending_times = np.empty((S, N))
     pending_values = np.empty((S, N), dtype=np.int8)
+    pending_risky = np.zeros((S, N), dtype=bool)
     head = np.zeros(S, dtype=np.int64)
     top = np.zeros(S, dtype=np.int64)
     delivered_times = np.full((S, N), _INF)
@@ -586,9 +644,33 @@ def _eval_timed_edge(
                 return
             ready_times = ready_times[ready]
             values = pending_values[rows, head[rows]]
+            risky = pending_risky[rows, head[rows]]
             head[rows] += 1
             events[rows] += 1
             changed = values != delivered_value[rows]
+            # A same-instant (or time-reversed) delivery is benign while
+            # it changes nothing: the engine suppresses it without ever
+            # evaluating the gate.  Only a *value-changing* one opens an
+            # interleaved batch the levelized evaluation cannot replay.
+            if strict and bool(np.any(changed & risky)):
+                if scc_internal:
+                    reason = (
+                        f"edge {program.name!r}: a feedback-loop channel "
+                        "delivered a same-instant (or earlier) value "
+                        "change, which the event-driven engine resolves "
+                        "with batch ordering the fixpoint schedule "
+                        "cannot replay"
+                    )
+                else:
+                    reason = (
+                        f"edge {program.name!r}: a channel scheduled a "
+                        "same-instant (or earlier) delivery, which the "
+                        "engine resolves with batch ordering the vector "
+                        "backend cannot replay"
+                    )
+                raise VectorUnsupportedError(
+                    VectorCapability(False, (reason,))
+                )
             rows = rows[changed]
             if rows.size:
                 stamped = ready_times[changed]
@@ -703,7 +785,7 @@ def _eval_timed_edge(
         if causal.any():
             violation = causal & (out_values[n] != delivered_value)
             if violation.any():
-                if on_causality == "error":
+                if strict and on_causality == "error":
                     s = int(lanes[violation][0])
                     raise CausalityError(
                         f"channel {program.name!r} scheduled an output at "
@@ -714,35 +796,31 @@ def _eval_timed_edge(
             pushable &= ~causal
         # Same-instant / time-reversed deliveries: scheduling an output at
         # (or before) the feeding instant opens additional engine batches
-        # at already-processed timestamps.  That is harmless only for a
-        # strict time reversal (out < t) into a single-input gate or an
-        # output port after the settle instant -- everything else (exact
+        # at already-processed timestamps.  That is harmless for a strict
+        # time reversal (out < t) into a single-input gate or an output
+        # port after the settle instant, and for any delivery that ends
+        # up suppressed (glitch cancellation delivers no value change, so
+        # the engine never evaluates the gate).  Everything else -- exact
         # same-instant gate deliveries, reversals interleaving with other
-        # inputs of a multi-input gate or with a time-0 settle transition)
-        # is engine-batch-order-specific; refuse so run_many falls back.
-        if program.target_is_gate:
+        # inputs of a multi-input gate or with a time-0 settle transition,
+        # any reversal inside a feedback loop -- is
+        # engine-batch-order-specific, so the entry is *flagged* here and
+        # refused in ``deliver_upto`` if it matures as a value change.
+        flagged = None
+        if program.target_is_gate or scc_internal:
             risky = pushable & (out_time <= t)
             if risky.any():
-                if program.target_multi_input:
-                    hazard = risky
+                if scc_internal or program.target_multi_input:
+                    flagged = risky
                 else:
                     floor = 0.0 if program.settle_sensitive else _NEG_INF
-                    hazard = risky & ~((out_time < t) & (out_time > floor))
-                if hazard.any():
-                    raise VectorUnsupportedError(
-                        VectorCapability(
-                            False,
-                            (
-                                f"edge {program.name!r}: a channel scheduled "
-                                "a same-instant (or earlier) delivery, which "
-                                "the engine resolves with batch ordering the "
-                                "vector backend cannot replay",
-                            ),
-                        )
-                    )
+                    flagged = risky & ~((out_time < t) & (out_time > floor))
         rows = lanes[pushable]
         pending_times[rows, top[rows]] = out_time[rows]
         pending_values[rows, top[rows]] = out_values[n]
+        pending_risky[rows, top[rows]] = (
+            False if flagged is None else flagged[rows]
+        )
         top[rows] += 1
 
     deliver_upto(end_times, np.ones(S, dtype=bool))
@@ -868,7 +946,11 @@ class VectorProgram:
     on_causality: str
     max_events: int
     report: VectorCapability = field(default_factory=lambda: VectorCapability(True))
-    order: List[int] = field(repr=False, default_factory=list)
+    #: Kahn order for acyclic circuits; ``None`` when the circuit has
+    #: feedback, in which case ``components`` drives the evaluation.
+    order: Optional[List[int]] = field(repr=False, default=None)
+    #: SCCs in condensation topological order (cyclic circuits only).
+    components: Optional[List[List[int]]] = field(repr=False, default=None)
     edge_programs: Dict[int, _EdgeProgram] = field(repr=False, default_factory=dict)
     port_initials: Dict[str, int] = field(repr=False, default_factory=dict)
 
@@ -928,10 +1010,11 @@ class VectorProgram:
         if topo.gate_ids:
             event_counts += (end_times >= 0.0).astype(np.int64)
 
-        # --- levelized evaluation ----------------------------------------- #
+        # --- levelized / fixpoint evaluation ------------------------------ #
         edge_matrices: Dict[int, _SignalMatrix] = {}
         dropped_counts = np.zeros(S, dtype=np.int64)
-        for nid in self.order:
+
+        def node_incoming(nid: int) -> Tuple[int, str, Tuple[int, ...]]:
             kind = topo.node_kind[nid]
             name = topo.node_names[nid]
             incoming = (
@@ -941,33 +1024,226 @@ class VectorProgram:
                     topo.edge_index[e.name] for e in topo.edges_into[name]
                 )
             )
+            return kind, name, incoming
+
+        def eval_edge(
+            eid: int, *, strict: bool = True, scc_internal: bool = False
+        ) -> None:
+            nonlocal event_counts, dropped_counts
+            program = self.edge_programs[eid]
+            source = node_matrices[program.source_id]
+            if program.zero_delay:
+                initial = (
+                    (1 - source.initial) if program.inverting else source.initial
+                )
+                edge_matrices[eid] = _SignalMatrix(
+                    source.times, source.counts, initial
+                )
+                return
+            delivered, events, dropped = _eval_timed_edge(
+                program, source, end_times, self.on_causality,
+                strict=strict, scc_internal=scc_internal,
+            )
+            edge_matrices[eid] = delivered
+            if strict:
+                event_counts += events
+                dropped_counts += dropped
+
+        def check_same_instant(name: str, incoming: Tuple[int, ...]) -> None:
+            # The tie-break pass: a gate's same-instant arrivals replay
+            # exactly when they all land in one engine wave.  Arrivals
+            # are classified by wave -- timed deliveries (batch wave 0),
+            # zero-delay edges from input ports (delta cycle 1), and
+            # zero-delay edges keyed per source gate (whichever delta
+            # cycle that gate changed in).  Within one class the merged
+            # evaluation in ``_eval_gate`` applies every arrival in a
+            # single evaluation, mirroring the Scheduler's wave; arrivals
+            # from *distinct* classes at one instant would interleave
+            # evaluations the levelized pass cannot see, so refuse and
+            # let ``run_many`` fall back.
+            classes: Dict[object, List[_SignalMatrix]] = {}
             for eid in incoming:
                 program = self.edge_programs[eid]
-                source = node_matrices[program.source_id]
                 if program.zero_delay:
-                    initial = (
-                        (1 - source.initial) if program.inverting else source.initial
-                    )
-                    edge_matrices[eid] = _SignalMatrix(
-                        source.times, source.counts, initial
+                    src = program.source_id
+                    key: object = (
+                        ("gate", src)
+                        if topo.node_kind[src] == _NODE_GATE
+                        else "ports"
                     )
                 else:
-                    delivered, events, dropped = _eval_timed_edge(
-                        program, source, end_times, self.on_causality
-                    )
-                    edge_matrices[eid] = delivered
-                    event_counts += events
-                    dropped_counts += dropped
+                    key = "deliver"
+                classes.setdefault(key, []).append(edge_matrices[eid])
+            if len(classes) < 2:
+                return
+            groups = list(classes.values())
+            for i in range(len(groups)):
+                for j in range(i + 1, len(groups)):
+                    for ma in groups[i]:
+                        for mb in groups[j]:
+                            for s in range(S):
+                                a = ma.times[s, : ma.counts[s]]
+                                b = mb.times[s, : mb.counts[s]]
+                                if (
+                                    a.size
+                                    and b.size
+                                    and np.intersect1d(a, b).size
+                                ):
+                                    raise VectorUnsupportedError(
+                                        VectorCapability(
+                                            False,
+                                            (
+                                                f"gate {name!r}: same-instant "
+                                                "arrivals through zero-delay "
+                                                "and timed paths interleave "
+                                                "across engine delta cycles "
+                                                "the vector backend cannot "
+                                                "replay",
+                                            ),
+                                        )
+                                    )
+
+        def eval_node(nid: int) -> None:
+            kind, name, incoming = node_incoming(nid)
+            for eid in incoming:
+                eval_edge(eid)
             if kind == _NODE_GATE:
-                gname = name
+                check_same_instant(name, incoming)
                 node_matrices[nid] = _eval_gate(
                     topo.gate_initial_by_node[nid],
-                    _gate_table_array(topo.gate_types[gname], len(incoming)),
+                    _gate_table_array(topo.gate_types[name], len(incoming)),
                     [edge_matrices[eid] for eid in incoming],
                     end_times,
                 )
             elif kind == _NODE_OUTPUT:
                 node_matrices[nid] = edge_matrices[incoming[0]]
+
+        def run_component(members: List[int]) -> None:
+            # Iterate-to-fixpoint lockstep over one feedback component.
+            # Gauss-Seidel from empty member signals: every pass extends
+            # the correct prefix by at least the loop's minimum realised
+            # delay, so the iterate converges once the prefix covers the
+            # horizon.  Deliveries beyond ``end_time`` never enter the
+            # matrices, which bounds the fixpoint.
+            member_set = set(members)
+            gates = []
+            for gid in sorted(members):
+                kind, name, incoming = node_incoming(gid)
+                if kind != _NODE_GATE:
+                    # Unreachable: ports have no in-edges and output
+                    # ports no out-edges, so cycles contain only gates.
+                    raise SimulationError(
+                        f"feedback component contains non-gate node {name!r}"
+                    )
+                internal = tuple(
+                    eid
+                    for eid in incoming
+                    if self.edge_programs[eid].source_id in member_set
+                )
+                external = tuple(
+                    eid for eid in incoming if eid not in internal
+                )
+                table = _gate_table_array(
+                    topo.gate_types[name], len(incoming)
+                )
+                gates.append((gid, name, incoming, internal, external, table))
+
+            # External context: upstream of the loop, evaluated exactly
+            # once (strict, counted) like any acyclic edge.
+            for gid, name, incoming, internal, external, table in gates:
+                for eid in external:
+                    eval_edge(eid)
+            for gid, *_ in gates:
+                node_matrices[gid] = _empty_matrix(
+                    S, topo.gate_initial_by_node[gid]
+                )
+
+            iterations = 0
+            total_steps = 0
+            while True:
+                iterations += 1
+                before = [
+                    (
+                        node_matrices[gid].times.tobytes(),
+                        node_matrices[gid].counts.tobytes(),
+                    )
+                    for gid, *_ in gates
+                ]
+                for gid, name, incoming, internal, external, table in gates:
+                    for eid in internal:
+                        source_id = self.edge_programs[eid].source_id
+                        total_steps += int(
+                            node_matrices[source_id].times.shape[1]
+                        )
+                        eval_edge(eid, strict=False)
+                    node_matrices[gid] = _eval_gate(
+                        topo.gate_initial_by_node[gid],
+                        table,
+                        [edge_matrices[eid] for eid in incoming],
+                        end_times,
+                    )
+                after = [
+                    (
+                        node_matrices[gid].times.tobytes(),
+                        node_matrices[gid].counts.tobytes(),
+                    )
+                    for gid, *_ in gates
+                ]
+                if after == before:
+                    break
+                width = max(
+                    node_matrices[gid].times.shape[1] for gid, *_ in gates
+                )
+                names = sorted(name for _, name, *_ in gates)
+                if iterations > 96 and width > iterations:
+                    # Signals growing faster than the iteration count is
+                    # the free-running-oscillator signature; converging
+                    # storage loops keep a bounded width while the
+                    # prefix sweeps the horizon.
+                    raise VectorUnsupportedError(
+                        VectorCapability(
+                            False,
+                            (
+                                f"feedback loop through gates {names} "
+                                "keeps generating transitions instead of "
+                                "converging (free-running oscillation is "
+                                "inherently event-driven)",
+                            ),
+                        )
+                    )
+                if total_steps > 150_000 or iterations > 20_000:
+                    raise VectorUnsupportedError(
+                        VectorCapability(
+                            False,
+                            (
+                                f"feedback loop through gates {names} "
+                                "exceeded the fixpoint iteration budget "
+                                f"({iterations} passes)",
+                            ),
+                        )
+                    )
+
+            # Converged: replay the loop channels once, strictly, to
+            # count events/drops and surface causality, admissibility
+            # and same-instant errors exactly as the acyclic path would.
+            for gid, name, incoming, internal, external, table in gates:
+                for eid in internal:
+                    eval_edge(eid, strict=True, scc_internal=True)
+                check_same_instant(name, incoming)
+
+        if self.order is not None:
+            for nid in self.order:
+                eval_node(nid)
+        else:
+            for component in self.components:
+                nid = component[0]
+                if len(component) == 1 and not any(
+                    topo.edge_target_id[eid] == nid
+                    for eid in topo.out_edge_ids[nid]
+                ):
+                    eval_node(nid)
+                else:
+                    run_component(component)
 
         over = event_counts > self.max_events
         if over.any():
@@ -1081,9 +1357,10 @@ def vector_capability(topology, scenarios: Sequence[object]) -> VectorCapability
     """Probe whether a sweep can run on the vector backend, without raising.
 
     Returns a :class:`VectorCapability` whose ``reasons`` list every
-    obstacle found (unsupported channel or adversary types, feedback
-    cycles, zero-delay edges into multi-input gates, scenario-dependent
-    structure); an empty list means :func:`compile_sweep` will succeed.
+    obstacle found (unsupported channel or adversary types,
+    zero-delay-only cycles, settle-instant glitches through zero-delay
+    edges, scenario-dependent structure); an empty list means
+    :func:`compile_sweep` will succeed.
     Sweeps that are invalid for *every* backend (missing or unknown input
     ports, overrides for unknown edges -- the checks ``Engine.run`` would
     fail too) are reported as unsupported with an ``invalid sweep:``
@@ -1101,6 +1378,94 @@ def vector_capability(topology, scenarios: Sequence[object]) -> VectorCapability
     return report
 
 
+def _predrawn_channels(
+    topo: CircuitTopology, scenarios: Sequence[object], seed=None
+) -> Dict[Tuple[int, str], object]:
+    """Seeded replacements for unseeded-RandomAdversary channels.
+
+    Scans every (scenario, edge) slot in a fixed order and, for each one
+    whose effective channel carries an unseeded
+    :class:`~repro.core.adversary.RandomAdversary`, builds a
+    ``with_adversary`` copy holding a pre-drawn integer seed.  Keys are
+    ``(scenario_index, edge_name)``.  With ``seed=None`` the draws come
+    from fresh OS entropy -- exactly the fresh-entropy-per-run semantics
+    the unseeded adversary has on the scalar engine; a given ``seed``
+    reproduces the same assignment, which is what lets both backends be
+    run on identical draws.
+    """
+    from ..core.adversary import RandomAdversary
+    from ..core.eta_channel import EtaInvolutionChannel
+
+    pending: List[Tuple[int, str, object]] = []
+    for s, scenario in enumerate(scenarios):
+        overrides = scenario.channels or {}
+        for eid, ename in enumerate(topo.edge_names):
+            channel = overrides.get(ename, topo.edge_list[eid].channel)
+            if (
+                type(channel) is EtaInvolutionChannel
+                and type(channel.adversary) is RandomAdversary
+                and channel.adversary._seed is None
+            ):
+                pending.append((s, ename, channel))
+    if not pending:
+        return {}
+    seeds = np.random.SeedSequence(seed).generate_state(
+        len(pending), dtype=np.uint64
+    )
+    replacements: Dict[Tuple[int, str], object] = {}
+    for (s, ename, channel), drawn in zip(pending, seeds):
+        adversary = channel.adversary
+        replacements[(s, ename)] = channel.with_adversary(
+            RandomAdversary(
+                seed=int(drawn),
+                distribution=adversary.distribution,
+                sigma_fraction=adversary.sigma_fraction,
+            )
+        )
+    return replacements
+
+
+def predraw_random_adversaries(
+    topology, scenarios: Sequence[object], *, seed=None
+) -> List[object]:
+    """Materialise every unseeded RandomAdversary as a seeded copy.
+
+    Returns a new scenario list in which each (scenario, edge) slot whose
+    channel draws fresh entropy per run is overridden by a copy carrying
+    a pre-drawn seed; scenarios with no such channels are returned as-is.
+    Running *both* backends on the returned scenarios makes their draws
+    identical -- the differential suite uses this to compare scalar and
+    vector bit-for-bit on otherwise-unreplayable sweeps.  ``compile_sweep``
+    performs the same materialisation internally (with fresh entropy), so
+    plain ``run_many(backend="vector")`` needs no preparation.
+    """
+    from dataclasses import replace
+
+    topo = (
+        topology
+        if isinstance(topology, CircuitTopology)
+        else CircuitTopology(topology)
+    )
+    scenarios = list(scenarios)
+    replacements = _predrawn_channels(topo, scenarios, seed)
+    if not replacements:
+        return scenarios
+    out: List[object] = []
+    for s, scenario in enumerate(scenarios):
+        news = {
+            ename: channel
+            for (si, ename), channel in replacements.items()
+            if si == s
+        }
+        if not news:
+            out.append(scenario)
+            continue
+        channels = dict(scenario.channels or {})
+        channels.update(news)
+        out.append(replace(scenario, channels=channels, fingerprint=None))
+    return out
+
+
 def _compile(
     topo: CircuitTopology,
     scenarios: Sequence[object],
@@ -1112,20 +1477,26 @@ def _compile(
     All obstacle detection lives in
     :func:`repro.engine.capability.analyze_sweep` (shared with the static
     linter's fallback prediction); this function only materialises the
-    per-edge numpy programs once the analysis comes back clean.
+    per-edge numpy programs once the analysis comes back clean.  Unseeded
+    RandomAdversary channels are replaced here by seeded copies with
+    pre-drawn per-(scenario, edge) seeds -- fresh entropy per compile,
+    mirroring the scalar engine's fresh draws per run.  The scenario
+    objects themselves are left untouched (results keep their identity).
     """
     scenarios = list(scenarios)
     analysis = analyze_sweep(topo, scenarios)
     if analysis.reasons:
         return analysis.capability(), None
 
+    predrawn = _predrawn_channels(topo, scenarios)
     edge_programs: Dict[int, _EdgeProgram] = {}
     fn_cache: Dict = {}
     for eid, ename in enumerate(topo.edge_names):
         edge = topo.edge_list[eid]
         run_channels = [
-            (scenario.channels or {}).get(ename, edge.channel)
-            for scenario in scenarios
+            predrawn.get((s, ename))
+            or (scenario.channels or {}).get(ename, edge.channel)
+            for s, scenario in enumerate(scenarios)
         ]
         program = _compile_edge(
             analysis.edge_facts[eid], ename, run_channels, fn_cache
@@ -1142,6 +1513,7 @@ def _compile(
         on_causality=on_causality,
         max_events=max_events,
         order=analysis.order,
+        components=analysis.components,
         edge_programs=edge_programs,
         port_initials=analysis.port_initials,
     )

@@ -200,8 +200,9 @@ def _run_theorem9(
         max_workers=max_workers,
     )
     if observed is not None:
-        # Provenance must record the strategy that actually ran (a
-        # vector request always falls back here: the loop is cyclic).
+        # Provenance must record the strategy that actually ran (the
+        # cyclic loop vectorizes via the fixpoint schedule, but a
+        # dynamic hazard can still drop a run to the scalar engine).
         observed["backend_executed"] = sweep.backend or backend
 
     observations: List[RegimeObservation] = []

@@ -1014,15 +1014,18 @@ def _check_zero_delay_cycle(ctx: CircuitContext) -> Iterator[Finding]:
 )
 def _check_feedback_loop(ctx: CircuitContext) -> Iterator[Finding]:
     """Storage loops are legal and essential (SR latches, the paper's
-    SPF circuit) but force the event-driven scalar engine: the vector
-    backend refuses cyclic circuits, so sweeps will fall back."""
+    SPF circuit).  Both engines handle them -- the event-driven scalar
+    engine natively, the vector backend via its fixpoint lockstep
+    schedule -- but the loop is worth surfacing: convergence cost grows
+    with the number of feedback round-trips inside the time horizon."""
     cycle = _find_cycle(ctx, ctx.edges)
     if cycle is not None:
         yield (
             ctx.path("/edges"),
             "feedback loop through nodes "
             + " -> ".join(repr(n) for n in cycle)
-            + " (needs the event-driven engine; vector sweeps fall back)",
+            + " (runs on the event-driven engine or the vector"
+            " backend's fixpoint schedule)",
         )
 
 
@@ -1065,8 +1068,9 @@ def _unseeded_random_findings(doc: Any, base: str) -> Iterator[Finding]:
 )
 def _check_unseeded_random_adversary(ctx: CircuitContext) -> Iterator[Finding]:
     """Reproducibility is this project's north star: every stochastic
-    component must be seeded.  An unseeded ``RandomAdversary`` also
-    blocks the vector backend (see REP401)."""
+    component must be seeded.  (The vector backend still runs unseeded
+    adversaries -- it pre-draws one seed per scenario/edge slot -- but
+    the draws come from fresh OS entropy, so runs stay irreproducible.)"""
     yield from _unseeded_random_findings(ctx.doc, "")
 
 

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.core import (
     EtaBound,
@@ -14,6 +17,29 @@ from repro.core import (
     ZeroAdversary,
     admissible_eta_bound,
 )
+
+# Hypothesis budgets.  `dev` (the default, and what tier-1's plain
+# `pytest -x -q` gets) is small and derandomized so the suite stays fast
+# and deterministic; `ci` is the large-budget profile the dedicated
+# differential CI job selects with `--hypothesis-profile=ci` (plus a
+# pinned `--hypothesis-seed`).  Tests that set their own @settings
+# (max_examples/deadline) keep those values -- the profile only fills
+# in what they leave unset.
+hypothesis_settings.register_profile(
+    "ci",
+    max_examples=200,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+hypothesis_settings.register_profile(
+    "dev",
+    max_examples=15,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -259,6 +259,41 @@ class TestCheckpointResume:
         assert resumed.shard_report.computed == 1
         assert_sweeps_identical(baseline, resumed)
 
+    def test_cyclic_sweep_resumes_onto_vector_chunks(self, tmp_path):
+        # Feedback cycles dispatch to the vector backend now: a killed
+        # `backend="auto"` sweep over the paper's storage loop must
+        # resume with every chunk -- checkpointed and recomputed alike
+        # -- on the vector path, bit-identical to an unbroken run.
+        from repro.circuits import fed_back_or
+        from repro.core import InvolutionPair, admissible_eta_bound
+
+        pair = InvolutionPair.exp_channel(tau=1.0, t_p=0.5)
+        eta = admissible_eta_bound(pair, eta_plus=0.05)
+        loop = fed_back_or(EtaInvolutionChannel(pair, eta, ZeroAdversary()))
+        scenarios = [
+            Scenario(
+                f"w={w:g}", {"i": Signal.pulse(0.0, w)}, 120.0
+            )
+            for w in (0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0, 1.4, 1.8)
+        ]
+        baseline = run_many(loop, scenarios, backend="sequential")
+        store = ArtifactStore(tmp_path / "ckpt")
+        injector = FaultInjector(
+            InlineChunkExecutor(loop), {(2, 1): "abort"}
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_many_sharded(
+                loop, scenarios, backend="auto", checkpoint=store,
+                chunk_size=3, executor=injector,
+            )
+        resumed = run_many_sharded(
+            loop, scenarios, backend="auto", checkpoint=store, chunk_size=3
+        )
+        assert resumed.shard_report.resumed == 2
+        assert resumed.shard_report.computed == 1
+        assert {r.backend for r in resumed.shard_report.records} == {"vector"}
+        assert_sweeps_identical(baseline, resumed)
+
     @settings(
         max_examples=8,
         deadline=None,

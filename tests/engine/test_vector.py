@@ -11,6 +11,7 @@ reports, experiment kinds).
 """
 
 import math
+import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -40,6 +41,7 @@ from repro.engine.sweep import Scenario
 from repro.engine.vector import (
     VectorUnsupportedError,
     compile_sweep,
+    predraw_random_adversaries,
     run_many_vector,
     vector_capability,
 )
@@ -314,19 +316,86 @@ def test_unsupported_channel_falls_back_with_report():
     assert_bit_identical(sequential, result.runs)
 
 
-def test_feedback_cycle_falls_back():
+def test_feedback_cycle_vectorizes_bit_identical():
+    # The paper's storage loop (theorem9's shape): a fed-back OR gate.
+    # Cycles run on the fixpoint lockstep schedule -- no fallback, and
+    # the result is bit-identical to the event-driven engine across the
+    # cancellation and latching regimes.
     from repro.circuits import fed_back_or
 
     circuit = fed_back_or(EtaInvolutionChannel(PAIR, ETA, ZeroAdversary()))
     scenarios = [
-        Scenario(name="s", inputs={"i": Signal.pulse(0.0, 0.6)}, end_time=60.0)
+        Scenario(
+            name=f"w{width:g}",
+            inputs={"i": Signal.pulse(0.0, width)},
+            end_time=60.0,
+        )
+        for width in (0.2, 0.4, 0.6, 0.9, 1.5)
     ]
     report = vector_capability(circuit, scenarios)
-    assert any("feedback cycle" in reason for reason in report.reasons)
-    with pytest.warns(RuntimeWarning, match="feedback cycle"):
+    assert report.supported, report.reasons
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
         result = run_many(circuit, scenarios, backend="vector")
+    assert result.backend == "vector"
     sequential = run_many(circuit, scenarios, backend="sequential")
     assert_bit_identical(sequential, result.runs)
+
+
+def test_oscillating_cycle_exhausts_max_events_identically():
+    # Termination guard: a free-running ring whose burst outlives the
+    # horizon keeps generating transitions.  Neither backend may spin --
+    # the scalar engine trips its max_events bound, and the vector
+    # backend (whose fixpoint guard refuses the unconverging loop and
+    # falls back loudly) must surface the *same* error text.
+    from repro.circuits.gates import OR2
+
+    ring = Circuit("ring")
+    ring.add_input("in", initial_value=0)
+    ring.add_gate("l0", OR2, initial_value=0)
+    ring.add_gate("l1", INV, initial_value=1)
+    ring.add_output("out")
+    ring.connect("in", "l0", PureDelayChannel(0.5), pin=0, name="drive")
+    ring.connect("l0", "l1", PureDelayChannel(0.5), pin=0, name="fwd")
+    ring.connect("l1", "l0", PureDelayChannel(0.5), pin=1, name="back")
+    ring.connect("l1", "out")
+    scenarios = [
+        Scenario(name="s", inputs={"in": Signal.pulse(1.0, 2.0)}, end_time=500.0)
+    ]
+    with pytest.raises(SimulationError) as scalar_exc:
+        run_many(ring, scenarios, backend="sequential", max_events=64)
+    with pytest.warns(RuntimeWarning, match="free-running oscillation"):
+        with pytest.raises(SimulationError) as vector_exc:
+            run_many(ring, scenarios, backend="vector", max_events=64)
+    assert str(scalar_exc.value) == str(vector_exc.value)
+    assert "max_events=64" in str(vector_exc.value)
+
+
+def test_bounded_oscillator_converges_and_raises_max_events_identically():
+    # Same ring, horizon short enough for the fixpoint to converge: the
+    # vector backend executes (no fallback) and must still raise the
+    # scalar engine's exact max_events error from its own global check.
+    from repro.circuits.gates import OR2
+
+    ring = Circuit("ring")
+    ring.add_input("in", initial_value=0)
+    ring.add_gate("l0", OR2, initial_value=0)
+    ring.add_gate("l1", INV, initial_value=1)
+    ring.add_output("out")
+    ring.connect("in", "l0", PureDelayChannel(0.5), pin=0, name="drive")
+    ring.connect("l0", "l1", PureDelayChannel(0.5), pin=0, name="fwd")
+    ring.connect("l1", "l0", PureDelayChannel(0.5), pin=1, name="back")
+    ring.connect("l1", "out")
+    scenarios = [
+        Scenario(name="s", inputs={"in": Signal.pulse(1.0, 2.0)}, end_time=30.0)
+    ]
+    with pytest.raises(SimulationError) as scalar_exc:
+        run_many(ring, scenarios, backend="sequential", max_events=40)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        with pytest.raises(SimulationError) as vector_exc:
+            run_many_vector(CircuitTopology(ring), scenarios, max_events=40)
+    assert str(scalar_exc.value) == str(vector_exc.value)
 
 
 def test_zero_delay_loop_raises_like_scalar():
@@ -404,16 +473,18 @@ def test_shared_random_adversary_falls_back_bit_identical():
 
 
 def test_provenance_records_executed_backend():
-    # theorem9's storage loop can never vectorize: the artifact must say
-    # what actually ran, not just what was requested.
+    # theorem9's storage loop now vectorizes on the fixpoint schedule:
+    # the artifact must say what actually ran, not just what was
+    # requested.
     from repro import api
 
-    with pytest.warns(RuntimeWarning, match="feedback cycle"):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
         result = api.experiment(
             "theorem9", {"pulse_lengths": [0.3]}, backend="vector"
         )
     assert result.provenance["backend"] == "vector"
-    assert result.provenance["backend_executed"] == "sequential"
+    assert result.provenance["backend_executed"] == "vector"
     vectorized = api.experiment(
         "eta_coverage", {"n_runs": 4, "stages": 2}, backend="vector"
     )
@@ -421,8 +492,9 @@ def test_provenance_records_executed_backend():
 
 
 def test_cli_sweep_reports_executed_backend(tmp_path, capsys):
-    # A vector request over the (cyclic) SPF netlist falls back; the CLI
-    # envelope must report the backend that ran, plus the reasons.
+    # A vector request over the (cyclic) SPF netlist now runs on the
+    # fixpoint schedule; the CLI envelope must report the backend that
+    # actually ran, with no fallback reasons.
     import json as _json
 
     from repro.cli import main
@@ -430,12 +502,13 @@ def test_cli_sweep_reports_executed_backend(tmp_path, capsys):
     netlist = tmp_path / "spf.json"
     main(["export", "spf", "-o", str(netlist)])
     capsys.readouterr()
-    with pytest.warns(RuntimeWarning):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
         main(["sweep", str(netlist), "--runs", "2", "--backend", "vector", "--json"])
     payload = _json.loads(capsys.readouterr().out)
-    assert payload["backend"] == "sequential"
+    assert payload["backend"] == "vector"
     assert payload["backend_requested"] == "vector"
-    assert any("cycle" in r for r in payload["vector_fallback_reasons"])
+    assert "vector_fallback_reasons" not in payload
 
 
 def test_scaling_rows_record_executed_backend():
@@ -536,7 +609,11 @@ def test_dynamic_same_instant_delivery_falls_back():
     assert_bit_identical(sequential, result.runs)
 
 
-def test_unseeded_random_adversary_falls_back():
+def test_unseeded_random_adversary_vectorizes():
+    # Unseeded RandomAdversary instances are materialised by pre-drawing
+    # one seed per (scenario, edge) slot before compilation -- no longer
+    # a capability obstacle.  With the same pre-drawn seeds applied to
+    # both backends the runs are bit-identical.
     circuit = inverter_chain(
         2, lambda: EtaInvolutionChannel(PAIR, ETA, RandomAdversary())
     )
@@ -544,7 +621,18 @@ def test_unseeded_random_adversary_falls_back():
         Scenario(name="s", inputs={"in": Signal.pulse(1.0, 3.0)}, end_time=30.0)
     ]
     report = vector_capability(circuit, scenarios)
-    assert any("without a seed" in reason for reason in report.reasons)
+    assert report.supported, report.reasons
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = run_many(circuit, scenarios, backend="vector")
+    assert result.backend == "vector"
+    pinned = predraw_random_adversaries(
+        CircuitTopology(circuit), scenarios, seed=1234
+    )
+    sequential = run_many(circuit, pinned, backend="sequential")
+    vectorized = run_many(circuit, pinned, backend="vector")
+    assert vectorized.backend == "vector"
+    assert_bit_identical(sequential, vectorized.runs)
 
 
 def test_capability_probe_never_raises_on_invalid_sweeps():

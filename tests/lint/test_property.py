@@ -38,7 +38,7 @@ def _random_channel(rng):
             {"kind": "zero"},
             {"kind": "worst"},
             {"kind": "random", "seed": rng.randrange(100)},
-            {"kind": "random"},  # unseeded: predicted fallback
+            {"kind": "random"},  # unseeded: vectorized via pre-drawn seeds
             {"kind": "sine", "period": 2.0},
         ]
     )
